@@ -1,0 +1,68 @@
+// Quickstart: the GDPR store API in ~60 lines.
+//
+//   build/examples/quickstart
+//
+// Creates a GDPR-compliant KV store, writes one personal-data record as
+// the controller, exercises a customer right, runs a processor read, and
+// shows the regulator's audit view.
+
+#include <cstdio>
+
+#include "gdpr/kv_backend.h"
+
+using namespace gdpr;
+
+int main() {
+  // 1. A compliant store: access control + audit on, strict TTL.
+  KvGdprOptions options;
+  KvGdprStore store(options);
+  if (!store.Open().ok()) return 1;
+
+  // 2. The controller collects a personal datum with its GDPR metadata
+  //    (paper §4.2.1 record format).
+  GdprRecord record;
+  record.key = "ph-1x4b";
+  record.data = "123-456-7890";
+  record.metadata.user = "neo";
+  record.metadata.purposes = {"ads", "2fa"};
+  record.metadata.origin = "first-party";
+  Status s = store.CreateRecord(Actor::Controller(), record);
+  printf("controller CREATE-RECORD          -> %s\n", s.ToString().c_str());
+
+  // 3. A processor with a valid purpose can read it; one without cannot.
+  auto ok_read = store.ReadDataByKey(Actor::Processor("adnet", "ads"),
+                                     "ph-1x4b");
+  printf("processor(ads) READ-DATA-BY-KEY   -> %s\n",
+         ok_read.ok() ? ok_read.value().data.c_str()
+                      : ok_read.status().ToString().c_str());
+  auto bad_read = store.ReadDataByKey(Actor::Processor("adnet", "fraud"),
+                                      "ph-1x4b");
+  printf("processor(fraud) READ-DATA-BY-KEY -> %s\n",
+         bad_read.status().ToString().c_str());
+
+  // 4. The customer inspects their metadata and objects to ads (G 21).
+  auto meta = store.ReadMetadataByKey(Actor::Customer("neo"), "ph-1x4b");
+  printf("customer READ-METADATA-BY-KEY     -> purposes: %zu, user: %s\n",
+         meta.value().purposes.size(), meta.value().user.c_str());
+  MetadataUpdate objection;
+  objection.objections = std::vector<std::string>{"ads"};
+  store.UpdateMetadataByKey(Actor::Customer("neo"), "ph-1x4b", objection)
+      .ok();
+  auto after = store.ReadDataByKey(Actor::Processor("adnet", "ads"),
+                                   "ph-1x4b");
+  printf("processor(ads) after objection    -> %s\n",
+         after.status().ToString().c_str());
+
+  // 5. Right to be forgotten (G 17), then regulator verification.
+  store.DeleteRecordByKey(Actor::Customer("neo"), "ph-1x4b").ok();
+  auto verified = store.VerifyDeletion(Actor::Regulator(), "ph-1x4b");
+  printf("regulator VERIFY-DELETION         -> %s\n",
+         verified.value() ? "erased and audited" : "NOT verified");
+
+  // 6. The audit trail saw everything, including the denied read.
+  auto logs = store.GetSystemLogs(Actor::Regulator(), 0,
+                                  RealClock::Default()->NowMicros());
+  printf("audit trail                       -> %zu entries\n",
+         logs.value().size());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Scenario example: a regulator investigating a data breach (G 33/34),
+// the paper's breach-notification motivation — 64,684 voluntary breach
+// notifications reached EU regulators in GDPR's first nine months.
+//
+//   build/examples/regulator_audit
+//
+// Shows: time-ranged GET-SYSTEM-LOGS, identifying affected records and
+// data subjects from the audit trail, READ-METADATA-BY-SHR for
+// third-party-sharing investigations, and the GET-SYSTEM-FEATURES
+// compliance matrix.
+
+#include <cstdio>
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "gdpr/compliance.h"
+#include "gdpr/rel_backend.h"
+
+using namespace gdpr;
+
+int main() {
+  SimulatedClock clock(0);
+  RelGdprOptions options;
+  options.clock = &clock;
+  options.compliance.metadata_indexing = true;
+  RelGdprStore store(options);
+  if (!store.Open().ok()) return 1;
+
+  // Normal operation: records for 50 users, some shared with partners.
+  Random rng(11);
+  for (int i = 0; i < 500; ++i) {
+    GdprRecord rec;
+    rec.key = StringPrintf("txn-%05d", i);
+    rec.data = rng.NextAsciiField(16);
+    rec.metadata.user = StringPrintf("user-%02d", i % 50);
+    rec.metadata.purposes = {"billing"};
+    if (i % 7 == 0) rec.metadata.shared_with = {"partner-analytics"};
+    rec.metadata.origin = "first-party";
+    store.CreateRecord(Actor::Controller(), rec).ok();
+    clock.AdvanceMicros(1000);
+  }
+
+  // The breach: a compromised processor exfiltrates records for an hour.
+  const int64_t breach_start = clock.NowMicros();
+  const Actor rogue = Actor::Processor("compromised-etl", "billing");
+  for (int i = 0; i < 120; ++i) {
+    store.ReadDataByKey(rogue, StringPrintf("txn-%05d", i * 4)).ok();
+    clock.AdvanceSeconds(30);
+  }
+  const int64_t breach_end = clock.NowMicros();
+  clock.AdvanceSeconds(3600);  // discovered later
+
+  // Investigation, step 1: pull the audit window (G 33).
+  auto window = store.GetSystemLogs(Actor::Regulator(), breach_start,
+                                    breach_end);
+  if (!window.ok()) return 1;
+  std::set<std::string> touched_keys;
+  for (const auto& e : window.value()) {
+    if (e.actor_id == "compromised-etl" && e.allowed &&
+        e.op == "READ-DATA-BY-KEY") {
+      touched_keys.insert(e.key);
+    }
+  }
+  printf("audit window [%lld, %lld] holds %zu entries; breach touched %zu "
+         "records\n",
+         (long long)breach_start, (long long)breach_end,
+         window.value().size(), touched_keys.size());
+
+  // Step 2: resolve affected data subjects (G 33(3a): approximate number
+  // of customers and records affected).
+  std::set<std::string> affected_users;
+  for (const auto& key : touched_keys) {
+    auto meta = store.ReadMetadataByKey(Actor::Controller(), key);
+    if (meta.ok()) affected_users.insert(meta.value().user);
+  }
+  printf("breach notification: %zu records of %zu data subjects affected\n",
+         touched_keys.size(), affected_users.size());
+
+  // Step 3: third-party-sharing investigation (G 13(1)).
+  auto shared = store.ReadMetadataBySharing(Actor::Regulator(),
+                                            "partner-analytics");
+  printf("records shared with partner-analytics: %zu (personal data "
+         "masked: %s)\n",
+         shared.value().size(),
+         shared.value().empty() || shared.value()[0].data.empty() ? "yes"
+                                                                  : "NO");
+
+  // Step 4: capability review (G 24/25).
+  auto features = store.GetFeatures(Actor::Regulator());
+  printf("\n%s\n", RenderComplianceMatrix(features.value()).c_str());
+  return 0;
+}
