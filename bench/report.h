@@ -1,0 +1,82 @@
+// Console reporting for the bench binaries: banners, aligned tables, and
+// machine-readable output. SeriesPoint/BenchResultJson emit BENCH_*JSON
+// lines so the perf trajectory can be scraped across PRs:
+//
+//   BENCH_JSON {"bench":"fig3a-lazy-minutes","x":1000,"y":2.5}
+//   BENCH_RESULT_JSON {"bench":"fig5-memkv-customer","ops_per_sec":412.0,
+//                      "p50_us":77.0,"p99_us":2150.0}
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace gdpr::bench {
+
+inline std::string Banner(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  return "\n" + bar + "\n| " + title + " |\n" + bar + "\n";
+}
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  std::string Render() const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        if (row[i].size() > width[i]) width[i] = row[i].size();
+      }
+    }
+    std::string out = RenderRow(headers_, width);
+    std::string rule;
+    for (size_t i = 0; i < width.size(); ++i) {
+      rule += std::string(width[i] + 2, '-');
+      if (i + 1 < width.size()) rule += "+";
+    }
+    out += rule + "\n";
+    for (const auto& row : rows_) out += RenderRow(row, width);
+    return out;
+  }
+
+ private:
+  static std::string RenderRow(const std::vector<std::string>& row,
+                               const std::vector<size_t>& width) {
+    std::string out;
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += " " + cell + std::string(width[i] - cell.size() + 1, ' ');
+      if (i + 1 < width.size()) out += "|";
+    }
+    out += "\n";
+    return out;
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// One (x, y) point of a named series, as a scrapeable JSON line.
+inline std::string SeriesPoint(const std::string& series, double x, double y) {
+  return StringPrintf("BENCH_JSON {\"bench\":\"%s\",\"x\":%.6g,\"y\":%.6g}",
+                      series.c_str(), x, y);
+}
+
+// Throughput + latency summary of one benchmark run, as a JSON line.
+inline std::string BenchResultJson(const std::string& name,
+                                   double ops_per_sec, double p50_us,
+                                   double p99_us) {
+  return StringPrintf(
+      "BENCH_RESULT_JSON {\"bench\":\"%s\",\"ops_per_sec\":%.3f,"
+      "\"p50_us\":%.1f,\"p99_us\":%.1f}",
+      name.c_str(), ops_per_sec, p50_us, p99_us);
+}
+
+}  // namespace gdpr::bench

@@ -1,0 +1,58 @@
+// Clock abstraction: the engine never reads time directly, it asks a Clock.
+// RealClock is a monotonic wall clock; SimulatedClock lets benches and tests
+// fast-forward days of TTL activity in microseconds of real time.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace gdpr {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowMicros() = 0;
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+class RealClock : public Clock {
+ public:
+  static RealClock* Default() {
+    static RealClock clock;
+    return &clock;
+  }
+
+  int64_t NowMicros() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() override { return now_.load(std::memory_order_acquire); }
+
+  // Sleeping on simulated time advances it: a background daemon waiting on
+  // this clock makes progress instead of deadlocking the simulation.
+  void SleepMicros(int64_t micros) override { AdvanceMicros(micros); }
+
+  void AdvanceMicros(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+  void AdvanceSeconds(int64_t seconds) { AdvanceMicros(seconds * 1000000); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace gdpr

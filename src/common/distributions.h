@@ -1,0 +1,51 @@
+// Key-choice distributions for workload generation. ZipfianDistribution is
+// the YCSB formulation (Gray et al.): constants are precomputed in the
+// constructor, Next() is pure w.r.t. the distribution object so one instance
+// can be shared across worker threads (each thread brings its own Random).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace gdpr {
+
+enum class DistributionKind { kUniform, kZipfian, kLatest };
+
+class ZipfianDistribution {
+ public:
+  explicit ZipfianDistribution(uint64_t n, double theta = 0.99)
+      : n_(n ? n : 1), theta_(theta) {
+    zeta2_ = Zeta(2, theta_);
+    zetan_ = Zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+
+  uint64_t Next(Random& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t v =
+        uint64_t(double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_, zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace gdpr

@@ -1,0 +1,54 @@
+// Fast deterministic PRNG (xorshift128+) used by generators and benches.
+// Not cryptographic — crypto code draws from crypto/.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gdpr {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding so nearby seeds produce unrelated streams.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    for (uint64_t* s : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      *s = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [0, n); returns 0 when n == 0.
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return double(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Printable ASCII field of exactly `len` bytes (alnum), for payloads.
+  std::string NextAsciiField(size_t len) {
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out(len, 'a');
+    for (size_t i = 0; i < len; ++i) out[i] = kAlphabet[Uniform(62)];
+    return out;
+  }
+
+ private:
+  uint64_t s0_ = 0, s1_ = 0;
+};
+
+}  // namespace gdpr

@@ -1,0 +1,129 @@
+// Status / StatusOr: the error-handling vocabulary used across the engine.
+// Modeled on the LevelDB/absl convention: cheap to copy in the OK case,
+// carries a code + message otherwise.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gdpr {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kIOError,
+  kDataLoss,
+  kUnimplemented,
+  kInternal,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "invalid argument") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status PermissionDenied(std::string m = "permission denied") {
+    return Status(StatusCode::kPermissionDenied, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m = "failed precondition") {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status IOError(std::string m = "io error") {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status DataLoss(std::string m = "data loss") {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Unimplemented(std::string m = "unimplemented") {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m = "internal error") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kAlreadyExists: name = "AlreadyExists"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kPermissionDenied: name = "PermissionDenied"; break;
+      case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
+      case StatusCode::kIOError: name = "IOError"; break;
+      case StatusCode::kDataLoss: name = "DataLoss"; break;
+      case StatusCode::kUnimplemented: name = "Unimplemented"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return message_.empty() ? std::string(name)
+                            : std::string(name) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) const {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gdpr

@@ -1,0 +1,65 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gdpr {
+
+std::string StringPrintf(const char* format, ...) {
+  va_list ap;
+  va_start(ap, format);
+  char stack_buf[256];
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  const int needed = vsnprintf(stack_buf, sizeof(stack_buf), format, ap);
+  va_end(ap);
+  if (needed < 0) {
+    va_end(ap_copy);
+    return std::string();
+  }
+  if (size_t(needed) < sizeof(stack_buf)) {
+    va_end(ap_copy);
+    return std::string(stack_buf, size_t(needed));
+  }
+  std::string out(size_t(needed), '\0');
+  vsnprintf(out.data(), out.size() + 1, format, ap_copy);
+  va_end(ap_copy);
+  return out;
+}
+
+std::string HumanMicros(int64_t micros) {
+  if (micros < 0) return "-";
+  if (micros < 1000) return StringPrintf("%lld us", (long long)micros);
+  const double ms = double(micros) / 1000.0;
+  if (ms < 1000) return StringPrintf("%.1f ms", ms);
+  const double s = ms / 1000.0;
+  if (s < 120) return StringPrintf("%.2f s", s);
+  const double min = s / 60.0;
+  if (min < 120) return StringPrintf("%.1f min", min);
+  return StringPrintf("%.1f h", min / 60.0);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitString(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  if (s.empty()) return out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s, start, i - start);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace gdpr

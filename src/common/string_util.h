@@ -1,0 +1,20 @@
+// printf-style formatting, human-readable durations, and join/split helpers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdpr {
+
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// "17 us", "4.2 ms", "1.50 s", "2.5 min", "3.1 h" — for report tables.
+std::string HumanMicros(int64_t micros);
+
+std::string JoinStrings(const std::vector<std::string>& parts, char sep);
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
+}  // namespace gdpr

@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439). Process() XORs the keystream over a
+// buffer in place, so encryption and decryption are the same call.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gdpr {
+
+class ChaCha20 {
+ public:
+  // key: 32 bytes, nonce: 12 bytes. counter is the initial block counter
+  // (RFC test vectors use 1; our AEAD reserves block 0 elsewhere).
+  ChaCha20(const uint8_t key[32], const uint8_t nonce[12],
+           uint32_t counter = 0);
+
+  // XOR the keystream into data. May be called repeatedly; the stream
+  // position carries over across calls.
+  void Process(uint8_t* data, size_t len);
+
+ private:
+  void NextBlock();
+
+  uint32_t state_[16];
+  uint8_t block_[64];
+  size_t block_pos_ = 64;  // forces block generation on first use
+};
+
+}  // namespace gdpr

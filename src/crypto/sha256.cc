@@ -1,0 +1,140 @@
+#include "crypto/sha256.h"
+
+#include <cstring>
+
+namespace gdpr {
+
+namespace {
+
+const uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+Sha256::Sha256() {
+  h_[0] = 0x6a09e667; h_[1] = 0xbb67ae85; h_[2] = 0x3c6ef372;
+  h_[3] = 0xa54ff53a; h_[4] = 0x510e527f; h_[5] = 0x9b05688c;
+  h_[6] = 0x1f83d9ab; h_[7] = 0x5be0cd19;
+}
+
+void Sha256::Compress(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (uint32_t(block[4 * i]) << 24) | (uint32_t(block[4 * i + 1]) << 16) |
+           (uint32_t(block[4 * i + 2]) << 8) | uint32_t(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = s0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  h_[0] += a; h_[1] += b; h_[2] += c; h_[3] += d;
+  h_[4] += e; h_[5] += f; h_[6] += g; h_[7] += h;
+}
+
+void Sha256::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+  if (buf_len_ > 0) {
+    const size_t take = len < 64 - buf_len_ ? len : 64 - buf_len_;
+    memcpy(buf_ + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    len -= take;
+    if (buf_len_ == 64) {
+      Compress(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    Compress(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    memcpy(buf_, p, len);
+    buf_len_ = len;
+  }
+}
+
+Sha256::Digest Sha256::Finish() {
+  const uint64_t bit_len = total_len_ * 8;
+  uint8_t pad[72];
+  size_t pad_len = (buf_len_ < 56) ? 56 - buf_len_ : 120 - buf_len_;
+  memset(pad, 0, sizeof(pad));
+  pad[0] = 0x80;
+  for (int i = 0; i < 8; ++i) pad[pad_len + i] = uint8_t(bit_len >> (56 - 8 * i));
+  Update(pad, pad_len + 8);
+  Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i + 0] = uint8_t(h_[i] >> 24);
+    out[4 * i + 1] = uint8_t(h_[i] >> 16);
+    out[4 * i + 2] = uint8_t(h_[i] >> 8);
+    out[4 * i + 3] = uint8_t(h_[i]);
+  }
+  return out;
+}
+
+std::string Sha256::ToHex(const Digest& d) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(64, '0');
+  for (size_t i = 0; i < d.size(); ++i) {
+    out[2 * i] = kHex[d[i] >> 4];
+    out[2 * i + 1] = kHex[d[i] & 0xf];
+  }
+  return out;
+}
+
+std::string Sha256::HexDigest(std::string_view data) {
+  return ToHex(Hash(data));
+}
+
+Sha256::Digest HmacSha256(std::string_view key, std::string_view message) {
+  uint8_t k[64];
+  memset(k, 0, sizeof(k));
+  if (key.size() > 64) {
+    const Sha256::Digest kd = Sha256::Hash(key);
+    memcpy(k, kd.data(), kd.size());
+  } else {
+    memcpy(k, key.data(), key.size());
+  }
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad, 64);
+  inner.Update(message);
+  const Sha256::Digest id = inner.Finish();
+  Sha256 outer;
+  outer.Update(opad, 64);
+  outer.Update(id.data(), id.size());
+  return outer.Finish();
+}
+
+}  // namespace gdpr

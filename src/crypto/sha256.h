@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4) with a streaming interface, plus HMAC-SHA256 for the
+// AEAD tag and the audit log's tamper-evident hash chain.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gdpr {
+
+class Sha256 {
+ public:
+  using Digest = std::array<uint8_t, 32>;
+
+  Sha256();
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+  Digest Finish();
+
+  static Digest Hash(std::string_view data) {
+    Sha256 h;
+    h.Update(data);
+    return h.Finish();
+  }
+  static std::string HexDigest(std::string_view data);
+  static std::string ToHex(const Digest& d);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+};
+
+// HMAC-SHA256(key, message).
+Sha256::Digest HmacSha256(std::string_view key, std::string_view message);
+
+}  // namespace gdpr

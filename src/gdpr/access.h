@@ -1,0 +1,68 @@
+// Shared role/purpose access-control matrix (G 25/28/29), used by both
+// backends so the policy cannot drift between them.
+//
+//   controller — full access (it runs the store).
+//   customer   — acts only on records it owns; no regulator-style ops.
+//   processor  — read-only, and only under a granted, unobjected purpose.
+//   regulator  — metadata, logs, verification; never raw personal data.
+
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "gdpr/actor.h"
+#include "gdpr/compliance.h"
+#include "gdpr/record.h"
+
+namespace gdpr {
+
+inline Status CheckGdprAccess(const ComplianceFlags& flags, const Actor& actor,
+                              std::string_view op, const GdprRecord* record) {
+  if (!flags.enforce_access_control) return Status::OK();
+  switch (actor.role) {
+    case Actor::Role::kController:
+      return Status::OK();
+    case Actor::Role::kCustomer:
+      if (record && record->metadata.user != actor.id) {
+        return Status::PermissionDenied("record belongs to another subject");
+      }
+      // Cross-subject queries (by purpose/sharing, log pulls, full scans)
+      // would disclose other subjects' metadata.
+      if (op == "VERIFY-DELETION" || op == "GET-SYSTEM-LOGS" ||
+          op == "SCAN-RECORDS" || op == "READ-METADATA-BY-PUR" ||
+          op == "READ-METADATA-BY-SHR") {
+        return Status::PermissionDenied("customer cannot run " +
+                                        std::string(op));
+      }
+      return Status::OK();
+    case Actor::Role::kProcessor:
+      if (op != "READ-DATA-BY-KEY" && op != "READ-METADATA-BY-KEY" &&
+          op != "READ-METADATA-BY-PUR") {
+        return Status::PermissionDenied("processor cannot run " +
+                                        std::string(op));
+      }
+      if (record) {
+        if (!record->metadata.HasPurpose(actor.purpose)) {
+          return Status::PermissionDenied("purpose not granted: " +
+                                          actor.purpose);
+        }
+        if (record->metadata.HasObjection(actor.purpose)) {
+          return Status::PermissionDenied("subject objected to purpose: " +
+                                          actor.purpose);
+        }
+      }
+      return Status::OK();
+    case Actor::Role::kRegulator:
+      if (op == "READ-DATA-BY-KEY" || op == "CREATE-RECORD" ||
+          op == "UPDATE-METADATA-BY-KEY" || op == "UPDATE-DATA-BY-KEY" ||
+          op == "DELETE-RECORD-BY-KEY" || op == "DELETE-RECORDS-BY-USER" ||
+          op == "DELETE-EXPIRED-RECORDS") {
+        return Status::PermissionDenied("regulator is read-only");
+      }
+      return Status::OK();
+  }
+  return Status::PermissionDenied("unknown role");
+}
+
+}  // namespace gdpr

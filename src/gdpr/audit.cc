@@ -1,0 +1,79 @@
+#include "gdpr/audit.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "crypto/sha256.h"
+
+namespace gdpr {
+
+AuditLog::AuditLog() : head_("audit-chain-genesis") {}
+
+std::string AuditLog::ChainStep(const std::string& prev, const AuditEntry& e) {
+  std::string buf = prev;
+  PutFixed64(&buf, uint64_t(e.timestamp_micros));
+  PutLengthPrefixed(&buf, e.actor_id);
+  buf.push_back(char(e.role));
+  PutLengthPrefixed(&buf, e.op);
+  PutLengthPrefixed(&buf, e.key);
+  buf.push_back(e.allowed ? 1 : 0);
+  const Sha256::Digest d = Sha256::Hash(buf);
+  return std::string(reinterpret_cast<const char*>(d.data()), d.size());
+}
+
+void AuditLog::Append(AuditEntry entry) {
+  std::lock_guard<std::mutex> l(mu_);
+  // Clamp so the timestamp order invariant survives clock weirdness.
+  if (!entries_.empty() &&
+      entry.timestamp_micros < entries_.back().timestamp_micros) {
+    entry.timestamp_micros = entries_.back().timestamp_micros;
+  }
+  head_ = ChainStep(head_, entry);
+  bytes_ += 32 + entry.actor_id.size() + entry.op.size() + entry.key.size() + 10;
+  entries_.push_back(std::move(entry));
+}
+
+size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return entries_.size();
+}
+
+std::vector<AuditEntry> AuditLog::Query(int64_t from_micros,
+                                        int64_t to_micros) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), from_micros,
+                             [](const AuditEntry& e, int64_t t) {
+                               return e.timestamp_micros < t;
+                             });
+  auto hi = std::upper_bound(lo, entries_.end(), to_micros,
+                             [](int64_t t, const AuditEntry& e) {
+                               return t < e.timestamp_micros;
+                             });
+  return std::vector<AuditEntry>(lo, hi);
+}
+
+std::string AuditLog::head_hash() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return head_;
+}
+
+bool AuditLog::VerifyChain() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::string h = "audit-chain-genesis";
+  for (const AuditEntry& e : entries_) h = ChainStep(h, e);
+  return h == head_;
+}
+
+size_t AuditLog::ApproximateBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return bytes_;
+}
+
+void AuditLog::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  entries_.clear();
+  head_ = "audit-chain-genesis";
+  bytes_ = 0;
+}
+
+}  // namespace gdpr

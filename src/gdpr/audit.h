@@ -1,0 +1,56 @@
+// Tamper-evident audit trail (G 30 "records of processing"): every operation
+// against the store — allowed or denied — is appended under a SHA-256 hash
+// chain, so a regulator can detect retroactive edits. Queries are
+// time-ranged (G 33 breach investigation).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gdpr/actor.h"
+
+namespace gdpr {
+
+struct AuditEntry {
+  int64_t timestamp_micros = 0;
+  std::string actor_id;
+  Actor::Role role = Actor::Role::kController;
+  std::string op;   // e.g. "READ-DATA-BY-KEY"
+  std::string key;  // subject key or query argument
+  bool allowed = true;
+};
+
+class AuditLog {
+ public:
+  AuditLog();
+
+  void Append(AuditEntry entry);
+  size_t size() const;
+
+  // Entries with from <= timestamp <= to. Entries are appended in
+  // non-decreasing timestamp order, so this is a binary search + copy.
+  std::vector<AuditEntry> Query(int64_t from_micros, int64_t to_micros) const;
+
+  // Head of the hash chain; changes with every append.
+  std::string head_hash() const;
+
+  // Verifies the chain end-to-end (a regulator's integrity check).
+  bool VerifyChain() const;
+
+  size_t ApproximateBytes() const;
+
+  void Clear();
+
+ private:
+  static std::string ChainStep(const std::string& prev, const AuditEntry& e);
+
+  mutable std::mutex mu_;
+  std::vector<AuditEntry> entries_;
+  std::string head_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace gdpr

@@ -1,0 +1,537 @@
+#include "gdpr/kv_backend.h"
+
+#include <algorithm>
+
+#include "gdpr/access.h"
+
+namespace gdpr {
+
+namespace {
+
+// Op name constants; these strings are the audit vocabulary (regulators
+// match on them, see examples/regulator_audit).
+constexpr const char kOpCreate[] = "CREATE-RECORD";
+constexpr const char kOpReadData[] = "READ-DATA-BY-KEY";
+constexpr const char kOpReadMeta[] = "READ-METADATA-BY-KEY";
+constexpr const char kOpReadMetaUser[] = "READ-METADATA-BY-USER";
+constexpr const char kOpReadMetaPurpose[] = "READ-METADATA-BY-PUR";
+constexpr const char kOpReadMetaSharing[] = "READ-METADATA-BY-SHR";
+constexpr const char kOpReadRecordsUser[] = "READ-RECORDS-BY-USER";
+constexpr const char kOpUpdateMeta[] = "UPDATE-METADATA-BY-KEY";
+constexpr const char kOpUpdateData[] = "UPDATE-DATA-BY-KEY";
+constexpr const char kOpDeleteKey[] = "DELETE-RECORD-BY-KEY";
+constexpr const char kOpDeleteUser[] = "DELETE-RECORDS-BY-USER";
+constexpr const char kOpDeleteExpired[] = "DELETE-EXPIRED-RECORDS";
+constexpr const char kOpVerifyDeletion[] = "VERIFY-DELETION";
+constexpr const char kOpGetLogs[] = "GET-SYSTEM-LOGS";
+constexpr const char kOpGetFeatures[] = "GET-SYSTEM-FEATURES";
+
+}  // namespace
+
+KvGdprStore::KvGdprStore(const KvGdprOptions& options) : options_(options) {
+  clock_ = options_.clock ? options_.clock : RealClock::Default();
+  kv::Options kvo = options_.kv;
+  kvo.clock = clock_;
+  kvo.encrypt_at_rest =
+      kvo.encrypt_at_rest || options_.compliance.encrypt_at_rest;
+  db_ = std::make_unique<kv::MemKV>(kvo);
+}
+
+KvGdprStore::~KvGdprStore() { Close().ok(); }
+
+Status KvGdprStore::Open() {
+  Status s = db_->Open();
+  if (!s.ok()) return s;
+  if (indexing() && db_->Size() > 0) {
+    // AOF replay restored records below us; rebuild the secondary indexes
+    // (including entries for expired-but-unreclaimed records, so erasure
+    // and upserts can still unindex them).
+    db_->Scan([this](const std::string&, const std::string& value) {
+      auto rec = GdprRecord::Parse(value);
+      if (rec.ok()) IndexAdd(rec.value());
+      return true;
+    });
+  }
+  return Status::OK();
+}
+
+Status KvGdprStore::Close() { return db_->Close(); }
+
+void KvGdprStore::Audit(const Actor& actor, const char* op,
+                        const std::string& key, bool allowed) {
+  if (!options_.compliance.audit_enabled) return;
+  AuditEntry e;
+  e.timestamp_micros = NowMicros();
+  e.actor_id = actor.id;
+  e.role = actor.role;
+  e.op = op;
+  e.key = key;
+  e.allowed = allowed;
+  audit_log_.Append(std::move(e));
+}
+
+Status KvGdprStore::CheckAccess(const Actor& actor, const char* op,
+                                const GdprRecord* record) {
+  return CheckGdprAccess(options_.compliance, actor, op, record);
+}
+
+StatusOr<GdprRecord> KvGdprStore::GetRecord(const std::string& key) {
+  auto rec = GetRecordRaw(key);
+  if (!rec.ok()) return rec;
+  const int64_t expiry = rec.value().metadata.expiry_micros;
+  if (expiry != 0 && expiry <= NowMicros()) {
+    return Status::NotFound(key + " (expired)");
+  }
+  return rec;
+}
+
+StatusOr<GdprRecord> KvGdprStore::GetRecordRaw(const std::string& key) {
+  auto raw = db_->Get(key);
+  if (!raw.ok()) return raw.status();
+  return GdprRecord::Parse(raw.value());
+}
+
+Status KvGdprStore::PutRecord(const GdprRecord& record) {
+  return db_->Set(record.key, record.Serialize());
+}
+
+void KvGdprStore::IndexAdd(const GdprRecord& record) {
+  std::unique_lock<std::shared_mutex> l(idx_mu_);
+  by_user_[record.metadata.user].insert(record.key);
+  index_bytes_ += record.metadata.user.size() + record.key.size() + 16;
+  for (const auto& p : record.metadata.purposes) {
+    by_purpose_[p].insert(record.key);
+    index_bytes_ += p.size() + record.key.size() + 16;
+  }
+  for (const auto& tp : record.metadata.shared_with) {
+    by_sharing_[tp].insert(record.key);
+    index_bytes_ += tp.size() + record.key.size() + 16;
+  }
+  if (record.metadata.expiry_micros != 0) {
+    ttl_heap_.push(TtlItem{record.metadata.expiry_micros, record.key});
+    index_bytes_ += record.key.size() + 16;
+  }
+}
+
+void KvGdprStore::IndexRemove(const GdprRecord& record) {
+  std::unique_lock<std::shared_mutex> l(idx_mu_);
+  auto drop = [this](std::unordered_map<std::string,
+                                        std::unordered_set<std::string>>& idx,
+                     const std::string& val, const std::string& key) {
+    auto it = idx.find(val);
+    if (it == idx.end()) return;
+    if (it->second.erase(key)) {
+      const size_t cost = val.size() + key.size() + 16;
+      index_bytes_ -= std::min(index_bytes_, cost);
+    }
+    if (it->second.empty()) idx.erase(it);
+  };
+  drop(by_user_, record.metadata.user, record.key);
+  for (const auto& p : record.metadata.purposes) drop(by_purpose_, p, record.key);
+  for (const auto& tp : record.metadata.shared_with) {
+    drop(by_sharing_, tp, record.key);
+  }
+  // Stale TTL heap entries are skipped at pop time.
+}
+
+void KvGdprStore::EraseRecord(const GdprRecord& record) {
+  db_->Delete(record.key).ok();
+  if (indexing()) IndexRemove(record);
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  tombstones_.insert(record.key);
+}
+
+Status KvGdprStore::CreateRecord(const Actor& actor,
+                                 const GdprRecord& record) {
+  Status access = CheckAccess(actor, kOpCreate, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kCustomer &&
+      record.metadata.user != actor.id) {
+    access = Status::PermissionDenied("customer can only create own records");
+  }
+  if (!access.ok()) {
+    Audit(actor, kOpCreate, record.key, false);
+    return access;
+  }
+  GdprRecord rec = record;
+  if (rec.metadata.created_micros == 0) rec.metadata.created_micros = NowMicros();
+  std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
+  if (indexing()) {
+    // Upsert: unindex the previous incarnation, if any. Fetch raw rather
+    // than via GetRecord — an expired-but-unreclaimed record must still be
+    // unindexed or its stale entries would misattribute the new record.
+    auto old = GetRecordRaw(rec.key);
+    if (old.ok()) IndexRemove(old.value());
+  }
+  Status s = PutRecord(rec);
+  if (s.ok() && indexing()) IndexAdd(rec);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    tombstones_.erase(rec.key);
+  }
+  Audit(actor, kOpCreate, rec.key, s.ok());
+  return s;
+}
+
+StatusOr<GdprRecord> KvGdprStore::ReadDataByKey(const Actor& actor,
+                                                const std::string& key) {
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpReadData, key, false);
+    return rec.status();
+  }
+  Status access = CheckAccess(actor, kOpReadData, &rec.value());
+  Audit(actor, kOpReadData, key, access.ok());
+  if (!access.ok()) return access;
+  return rec;
+}
+
+StatusOr<GdprMetadata> KvGdprStore::ReadMetadataByKey(const Actor& actor,
+                                                      const std::string& key) {
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpReadMeta, key, false);
+    return rec.status();
+  }
+  Status access = CheckAccess(actor, kOpReadMeta, &rec.value());
+  Audit(actor, kOpReadMeta, key, access.ok());
+  if (!access.ok()) return access;
+  return rec.value().metadata;
+}
+
+std::vector<GdprRecord> KvGdprStore::CollectByIndex(
+    const std::unordered_map<std::string, std::unordered_set<std::string>>&
+        index,
+    const std::string& value, bool include_expired) {
+  std::vector<std::string> keys;
+  {
+    std::shared_lock<std::shared_mutex> l(idx_mu_);
+    auto it = index.find(value);
+    if (it != index.end()) keys.assign(it->second.begin(), it->second.end());
+  }
+  std::vector<GdprRecord> out;
+  out.reserve(keys.size());
+  for (const auto& k : keys) {
+    auto rec = include_expired ? GetRecordRaw(k) : GetRecord(k);
+    if (rec.ok()) out.push_back(std::move(rec.value()));
+  }
+  return out;
+}
+
+std::vector<GdprRecord> KvGdprStore::CollectByScan(
+    const std::function<bool(const GdprRecord&)>& match, bool include_expired) {
+  // The O(n) path the paper measures: walk every key, parse, filter.
+  std::vector<GdprRecord> out;
+  db_->Scan([&](const std::string&, const std::string& value) {
+    auto rec = GdprRecord::Parse(value);
+    if (rec.ok() && match(rec.value())) {
+      const int64_t expiry = rec.value().metadata.expiry_micros;
+      if (include_expired || expiry == 0 || expiry > NowMicros()) {
+        out.push_back(std::move(rec.value()));
+      }
+    }
+    return true;
+  });
+  return out;
+}
+
+StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
+    const Actor& actor, const std::string& user) {
+  Status access = CheckAccess(actor, kOpReadMetaUser, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
+    access = Status::PermissionDenied("customer can only query own records");
+  }
+  Audit(actor, kOpReadMetaUser, user, access.ok());
+  if (!access.ok()) return access;
+  std::vector<GdprRecord> recs =
+      indexing() ? CollectByIndex(by_user_, user)
+                 : CollectByScan([&](const GdprRecord& r) {
+                     return r.metadata.user == user;
+                   });
+  for (auto& r : recs) r.data.clear();
+  return recs;
+}
+
+StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByPurpose(
+    const Actor& actor, const std::string& purpose) {
+  Status access = CheckAccess(actor, kOpReadMetaPurpose, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kProcessor &&
+      actor.purpose != purpose) {
+    access = Status::PermissionDenied("processor purpose mismatch");
+  }
+  Audit(actor, kOpReadMetaPurpose, purpose, access.ok());
+  if (!access.ok()) return access;
+  std::vector<GdprRecord> recs =
+      indexing() ? CollectByIndex(by_purpose_, purpose)
+                 : CollectByScan([&](const GdprRecord& r) {
+                     return r.metadata.HasPurpose(purpose);
+                   });
+  for (auto& r : recs) r.data.clear();
+  return recs;
+}
+
+StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataBySharing(
+    const Actor& actor, const std::string& third_party) {
+  Status access = CheckAccess(actor, kOpReadMetaSharing, nullptr);
+  Audit(actor, kOpReadMetaSharing, third_party, access.ok());
+  if (!access.ok()) return access;
+  std::vector<GdprRecord> recs =
+      indexing() ? CollectByIndex(by_sharing_, third_party)
+                 : CollectByScan([&](const GdprRecord& r) {
+                     return r.metadata.SharedWith(third_party);
+                   });
+  for (auto& r : recs) r.data.clear();
+  return recs;
+}
+
+StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadRecordsByUser(
+    const Actor& actor, const std::string& user) {
+  Status access = CheckAccess(actor, kOpReadRecordsUser, nullptr);
+  if (access.ok()) {
+    const bool owner =
+        actor.role == Actor::Role::kCustomer && actor.id == user;
+    if (actor.role != Actor::Role::kController && !owner) {
+      access = Status::PermissionDenied("full records limited to controller "
+                                        "or the data subject");
+    }
+  }
+  Audit(actor, kOpReadRecordsUser, user, access.ok());
+  if (!access.ok()) return access;
+  return indexing() ? CollectByIndex(by_user_, user)
+                    : CollectByScan([&](const GdprRecord& r) {
+                        return r.metadata.user == user;
+                      });
+}
+
+Status KvGdprStore::UpdateMetadataByKey(const Actor& actor,
+                                        const std::string& key,
+                                        const MetadataUpdate& update) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpUpdateMeta, key, false);
+    return rec.status();
+  }
+  Status access = CheckAccess(actor, kOpUpdateMeta, &rec.value());
+  if (!access.ok()) {
+    Audit(actor, kOpUpdateMeta, key, false);
+    return access;
+  }
+  GdprRecord updated = rec.value();
+  if (update.user) updated.metadata.user = *update.user;
+  if (update.purposes) updated.metadata.purposes = *update.purposes;
+  if (update.objections) updated.metadata.objections = *update.objections;
+  if (update.shared_with) updated.metadata.shared_with = *update.shared_with;
+  if (update.origin) updated.metadata.origin = *update.origin;
+  if (update.expiry_micros) updated.metadata.expiry_micros = *update.expiry_micros;
+  if (indexing()) IndexRemove(rec.value());
+  Status s = PutRecord(updated);
+  if (s.ok() && indexing()) IndexAdd(updated);
+  Audit(actor, kOpUpdateMeta, key, s.ok());
+  return s;
+}
+
+Status KvGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
+                                    const std::string& data) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpUpdateData, key, false);
+    return rec.status();
+  }
+  Status access = CheckAccess(actor, kOpUpdateData, &rec.value());
+  if (!access.ok()) {
+    Audit(actor, kOpUpdateData, key, false);
+    return access;
+  }
+  GdprRecord updated = rec.value();
+  updated.data = data;
+  Status s = PutRecord(updated);  // metadata unchanged: no index touch
+  Audit(actor, kOpUpdateData, key, s.ok());
+  return s;
+}
+
+Status KvGdprStore::DeleteRecordByKey(const Actor& actor,
+                                      const std::string& key) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  // Raw fetch: the right to be forgotten applies to expired-but-unreclaimed
+  // records too — their blobs and index entries must go now, with evidence.
+  auto rec = GetRecordRaw(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpDeleteKey, key, false);
+    return rec.status();
+  }
+  Status access = CheckAccess(actor, kOpDeleteKey, &rec.value());
+  if (!access.ok()) {
+    Audit(actor, kOpDeleteKey, key, false);
+    return access;
+  }
+  EraseRecord(rec.value());
+  Audit(actor, kOpDeleteKey, key, true);
+  return Status::OK();
+}
+
+StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
+                                                  const std::string& user) {
+  Status access = CheckAccess(actor, kOpDeleteUser, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
+    access = Status::PermissionDenied("customer can only erase own records");
+  }
+  if (!access.ok()) {
+    Audit(actor, kOpDeleteUser, user, false);
+    return access;
+  }
+  auto match_user = [&](const GdprRecord& r) {
+    return r.metadata.user == user;
+  };
+  std::vector<GdprRecord> victims =
+      indexing() ? CollectByIndex(by_user_, user, /*include_expired=*/true)
+                 : CollectByScan(match_user, /*include_expired=*/true);
+  size_t erased = 0;
+  for (const auto& rec : victims) {
+    std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
+    // Revalidate under the key lock: a concurrent upsert may have handed
+    // the key to another subject since collection.
+    auto cur = GetRecordRaw(rec.key);
+    if (!cur.ok() || !match_user(cur.value())) continue;
+    EraseRecord(cur.value());
+    ++erased;
+  }
+  Audit(actor, kOpDeleteUser, user, true);
+  return erased;
+}
+
+StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
+  Status access = CheckAccess(actor, kOpDeleteExpired, nullptr);
+  if (!access.ok()) {
+    Audit(actor, kOpDeleteExpired, "", false);
+    return access;
+  }
+  const int64_t now = NowMicros();
+  size_t reclaimed = 0;
+  if (indexing()) {
+    // O(expired): drain the TTL heap, skipping stale entries.
+    for (;;) {
+      std::string key;
+      int64_t expiry = 0;
+      {
+        std::unique_lock<std::shared_mutex> l(idx_mu_);
+        if (ttl_heap_.empty() || ttl_heap_.top().expiry_micros > now) break;
+        key = ttl_heap_.top().key;
+        expiry = ttl_heap_.top().expiry_micros;
+        ttl_heap_.pop();
+      }
+      std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+      auto rec = GetRecordRaw(key);
+      if (!rec.ok()) continue;
+      // TTL rewritten since this heap entry was pushed -> a newer entry
+      // covers it.
+      if (rec.value().metadata.expiry_micros != expiry) continue;
+      EraseRecord(rec.value());
+      ++reclaimed;
+    }
+  } else {
+    // O(n) sweep: parse every record to find the dead ones.
+    std::vector<GdprRecord> dead;
+    db_->Scan([&](const std::string&, const std::string& value) {
+      auto rec = GdprRecord::Parse(value);
+      if (rec.ok() && rec.value().metadata.expiry_micros != 0 &&
+          rec.value().metadata.expiry_micros <= now) {
+        dead.push_back(std::move(rec.value()));
+      }
+      return true;
+    });
+    reclaimed = 0;
+    for (const auto& rec : dead) {
+      std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
+      auto cur = GetRecordRaw(rec.key);
+      if (!cur.ok() || cur.value().metadata.expiry_micros == 0 ||
+          cur.value().metadata.expiry_micros > now) {
+        continue;  // re-created or TTL extended since collection
+      }
+      EraseRecord(cur.value());
+      ++reclaimed;
+    }
+  }
+  Audit(actor, kOpDeleteExpired, "", true);
+  return reclaimed;
+}
+
+StatusOr<bool> KvGdprStore::VerifyDeletion(const Actor& actor,
+                                           const std::string& key) {
+  Status access = CheckAccess(actor, kOpVerifyDeletion, nullptr);
+  Audit(actor, kOpVerifyDeletion, key, access.ok());
+  if (!access.ok()) return access;
+  const bool gone = !db_->Get(key).ok();
+  bool evidenced = false;
+  {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    evidenced = tombstones_.count(key) != 0;
+  }
+  return gone && evidenced;
+}
+
+StatusOr<std::vector<AuditEntry>> KvGdprStore::GetSystemLogs(
+    const Actor& actor, int64_t from_micros, int64_t to_micros) {
+  Status access = CheckAccess(actor, kOpGetLogs, nullptr);
+  if (access.ok() && actor.role != Actor::Role::kRegulator &&
+      actor.role != Actor::Role::kController) {
+    access = Status::PermissionDenied("logs limited to regulator/controller");
+  }
+  if (!access.ok()) {
+    Audit(actor, kOpGetLogs, "", false);
+    return access;
+  }
+  std::vector<AuditEntry> out = audit_log_.Query(from_micros, to_micros);
+  Audit(actor, kOpGetLogs, "", true);
+  return out;
+}
+
+StatusOr<Features> KvGdprStore::GetFeatures(const Actor& actor) {
+  Audit(actor, kOpGetFeatures, "", true);
+  return BuildFeatures("memkv", options_.compliance,
+                       /*has_secondary_indexes=*/indexing());
+}
+
+Status KvGdprStore::ScanRecords(
+    const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
+  Status access = CheckAccess(actor, "SCAN-RECORDS", nullptr);
+  if (access.ok() && actor.role == Actor::Role::kProcessor) {
+    access = Status::PermissionDenied("processor cannot scan");
+  }
+  Audit(actor, "SCAN-RECORDS", "", access.ok());
+  if (!access.ok()) return access;
+  db_->Scan([&](const std::string&, const std::string& value) {
+    auto rec = GdprRecord::Parse(value);
+    if (!rec.ok()) return true;
+    return fn(rec.value());
+  });
+  return Status::OK();
+}
+
+size_t KvGdprStore::RecordCount() { return db_->Size(); }
+
+size_t KvGdprStore::TotalBytes() {
+  size_t idx = 0;
+  {
+    std::shared_lock<std::shared_mutex> l(idx_mu_);
+    idx = index_bytes_;
+  }
+  return db_->ApproximateBytes() + idx + audit_log_.ApproximateBytes();
+}
+
+Status KvGdprStore::Reset() {
+  db_->Clear();
+  {
+    std::unique_lock<std::shared_mutex> l(idx_mu_);
+    by_user_.clear();
+    by_purpose_.clear();
+    by_sharing_.clear();
+    while (!ttl_heap_.empty()) ttl_heap_.pop();
+    index_bytes_ = 0;
+  }
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  tombstones_.clear();
+  return Status::OK();
+}
+
+}  // namespace gdpr

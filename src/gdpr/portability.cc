@@ -1,0 +1,243 @@
+#include "gdpr/portability.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "crypto/sha256.h"
+
+namespace gdpr {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonStringList(std::string* out,
+                          const std::vector<std::string>& v) {
+  out->push_back('[');
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out->push_back(',');
+    AppendJsonString(out, v[i]);
+  }
+  out->push_back(']');
+}
+
+// --- minimal parser for the bundle format we emit ---
+
+struct Cursor {
+  std::string_view in;
+  bool fail = false;
+
+  void SkipWs() {
+    while (!in.empty() && isspace(uint8_t(in.front()))) in.remove_prefix(1);
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (in.empty() || in.front() != c) return false;
+    in.remove_prefix(1);
+    return true;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return !in.empty() && in.front() == c;
+  }
+};
+
+bool ParseJsonString(Cursor* c, std::string* out) {
+  if (!c->Consume('"')) return false;
+  out->clear();
+  while (!c->in.empty()) {
+    const char ch = c->in.front();
+    c->in.remove_prefix(1);
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c->in.empty()) return false;
+      const char esc = c->in.front();
+      c->in.remove_prefix(1);
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (c->in.size() < 4) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = c->in[size_t(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return false;
+          }
+          c->in.remove_prefix(4);
+          out->push_back(char(uint8_t(code & 0xff)));  // latin-1 subset
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      out->push_back(ch);
+    }
+  }
+  return false;
+}
+
+bool ParseJsonInt(Cursor* c, int64_t* out) {
+  c->SkipWs();
+  bool neg = false;
+  if (!c->in.empty() && c->in.front() == '-') {
+    neg = true;
+    c->in.remove_prefix(1);
+  }
+  if (c->in.empty() || !isdigit(uint8_t(c->in.front()))) return false;
+  int64_t v = 0;
+  while (!c->in.empty() && isdigit(uint8_t(c->in.front()))) {
+    v = v * 10 + (c->in.front() - '0');
+    c->in.remove_prefix(1);
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+bool ParseJsonStringList(Cursor* c, std::vector<std::string>* out) {
+  if (!c->Consume('[')) return false;
+  out->clear();
+  if (c->Consume(']')) return true;
+  for (;;) {
+    std::string s;
+    if (!ParseJsonString(c, &s)) return false;
+    out->push_back(std::move(s));
+    if (c->Consume(']')) return true;
+    if (!c->Consume(',')) return false;
+  }
+}
+
+bool ParseRecordObject(Cursor* c, GdprRecord* rec) {
+  if (!c->Consume('{')) return false;
+  *rec = GdprRecord();
+  if (c->Consume('}')) return true;
+  for (;;) {
+    std::string field;
+    if (!ParseJsonString(c, &field) || !c->Consume(':')) return false;
+    bool ok = true;
+    if (field == "key") ok = ParseJsonString(c, &rec->key);
+    else if (field == "data") ok = ParseJsonString(c, &rec->data);
+    else if (field == "user") ok = ParseJsonString(c, &rec->metadata.user);
+    else if (field == "origin") ok = ParseJsonString(c, &rec->metadata.origin);
+    else if (field == "purposes")
+      ok = ParseJsonStringList(c, &rec->metadata.purposes);
+    else if (field == "objections")
+      ok = ParseJsonStringList(c, &rec->metadata.objections);
+    else if (field == "shared_with")
+      ok = ParseJsonStringList(c, &rec->metadata.shared_with);
+    else if (field == "expiry_micros")
+      ok = ParseJsonInt(c, &rec->metadata.expiry_micros);
+    else if (field == "created_micros")
+      ok = ParseJsonInt(c, &rec->metadata.created_micros);
+    else
+      return false;  // unknown field: this parser only reads what we emit
+    if (!ok) return false;
+    if (c->Consume('}')) return true;
+    if (!c->Consume(',')) return false;
+  }
+}
+
+}  // namespace
+
+StatusOr<PortabilityExport> ExportUserData(GdprStore* store, const Actor& actor,
+                                           const std::string& user) {
+  auto records = store->ReadRecordsByUser(actor, user);
+  if (!records.ok()) return records.status();
+
+  PortabilityExport bundle;
+  bundle.user = user;
+  bundle.record_count = records.value().size();
+  std::string& json = bundle.json;
+  json += "{\"format\":\"gdprbench-portability-v1\",\"user\":";
+  AppendJsonString(&json, user);
+  json += ",\"records\":[";
+  for (size_t i = 0; i < records.value().size(); ++i) {
+    const GdprRecord& rec = records.value()[i];
+    if (i) json.push_back(',');
+    json += "{\"key\":";
+    AppendJsonString(&json, rec.key);
+    json += ",\"data\":";
+    AppendJsonString(&json, rec.data);
+    json += ",\"user\":";
+    AppendJsonString(&json, rec.metadata.user);
+    json += ",\"origin\":";
+    AppendJsonString(&json, rec.metadata.origin);
+    json += ",\"purposes\":";
+    AppendJsonStringList(&json, rec.metadata.purposes);
+    json += ",\"objections\":";
+    AppendJsonStringList(&json, rec.metadata.objections);
+    json += ",\"shared_with\":";
+    AppendJsonStringList(&json, rec.metadata.shared_with);
+    json += StringPrintf(",\"expiry_micros\":%lld",
+                         (long long)rec.metadata.expiry_micros);
+    json += StringPrintf(",\"created_micros\":%lld}",
+                         (long long)rec.metadata.created_micros);
+  }
+  json += "]}";
+  bundle.sha256_hex = Sha256::HexDigest(json);
+  return bundle;
+}
+
+StatusOr<size_t> ImportUserData(GdprStore* store, const Actor& actor,
+                                const PortabilityExport& bundle) {
+  if (Sha256::HexDigest(bundle.json) != bundle.sha256_hex) {
+    return Status::DataLoss("bundle integrity check failed (digest mismatch)");
+  }
+  Cursor c{bundle.json};
+  std::string field, format, user;
+  if (!c.Consume('{')) return Status::InvalidArgument("bad bundle");
+  if (!ParseJsonString(&c, &field) || field != "format" || !c.Consume(':') ||
+      !ParseJsonString(&c, &format) ||
+      format != "gdprbench-portability-v1" || !c.Consume(',')) {
+    return Status::InvalidArgument("unknown bundle format");
+  }
+  if (!ParseJsonString(&c, &field) || field != "user" || !c.Consume(':') ||
+      !ParseJsonString(&c, &user) || !c.Consume(',')) {
+    return Status::InvalidArgument("bad bundle user");
+  }
+  if (!ParseJsonString(&c, &field) || field != "records" || !c.Consume(':') ||
+      !c.Consume('[')) {
+    return Status::InvalidArgument("bad bundle records");
+  }
+  size_t imported = 0;
+  if (!c.Consume(']')) {
+    for (;;) {
+      GdprRecord rec;
+      if (!ParseRecordObject(&c, &rec)) {
+        return Status::InvalidArgument("bad bundle record");
+      }
+      Status s = store->CreateRecord(actor, rec);
+      if (s.ok()) ++imported;
+      if (c.Consume(']')) break;
+      if (!c.Consume(',')) return Status::InvalidArgument("bad bundle list");
+    }
+  }
+  return imported;
+}
+
+}  // namespace gdpr

@@ -1,0 +1,31 @@
+// Data portability (G 20): export a data subject's records as a structured,
+// machine-readable JSON bundle with a SHA-256 integrity digest; import
+// verifies the digest (a bit flip in transit is rejected) and re-creates
+// the records under the receiving controller.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gdpr/store.h"
+
+namespace gdpr {
+
+struct PortabilityExport {
+  std::string user;
+  size_t record_count = 0;
+  std::string json;        // the machine-readable bundle
+  std::string sha256_hex;  // digest of `json`
+};
+
+// Reads the user's full records (actor must be the subject or controller).
+StatusOr<PortabilityExport> ExportUserData(GdprStore* store, const Actor& actor,
+                                           const std::string& user);
+
+// Verifies the digest, parses the bundle, and creates every record in the
+// destination store. Returns records imported.
+StatusOr<size_t> ImportUserData(GdprStore* store, const Actor& actor,
+                                const PortabilityExport& bundle);
+
+}  // namespace gdpr

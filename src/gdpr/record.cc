@@ -1,0 +1,88 @@
+#include "gdpr/record.h"
+
+#include "common/coding.h"
+
+namespace gdpr {
+
+namespace {
+
+constexpr char kMagic = '\x47';  // 'G'
+constexpr char kVersion = 1;
+
+void PutStringList(std::string* dst, const std::vector<std::string>& v) {
+  PutVarint64(dst, v.size());
+  for (const auto& s : v) PutLengthPrefixed(dst, s);
+}
+
+bool GetStringList(std::string_view* in, std::vector<std::string>* out) {
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n) || n > in->size()) return false;
+  out->clear();
+  out->reserve(size_t(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view s;
+    if (!GetLengthPrefixed(in, &s)) return false;
+    out->emplace_back(s);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string GdprRecord::Serialize() const {
+  std::string out;
+  out.reserve(32 + key.size() + data.size());
+  out.push_back(kMagic);
+  out.push_back(kVersion);
+  PutLengthPrefixed(&out, key);
+  PutLengthPrefixed(&out, data);
+  PutLengthPrefixed(&out, metadata.user);
+  PutLengthPrefixed(&out, metadata.origin);
+  PutStringList(&out, metadata.purposes);
+  PutStringList(&out, metadata.objections);
+  PutStringList(&out, metadata.shared_with);
+  PutFixed64(&out, uint64_t(metadata.expiry_micros));
+  PutFixed64(&out, uint64_t(metadata.created_micros));
+  return out;
+}
+
+StatusOr<GdprRecord> GdprRecord::Parse(std::string_view wire) {
+  if (wire.size() < 2 || wire[0] != kMagic) {
+    return Status::DataLoss("bad record magic");
+  }
+  if (wire[1] != kVersion) return Status::DataLoss("bad record version");
+  wire.remove_prefix(2);
+  GdprRecord rec;
+  std::string_view key, data, user, origin;
+  if (!GetLengthPrefixed(&wire, &key) || !GetLengthPrefixed(&wire, &data) ||
+      !GetLengthPrefixed(&wire, &user) || !GetLengthPrefixed(&wire, &origin)) {
+    return Status::DataLoss("truncated record header");
+  }
+  rec.key.assign(key);
+  rec.data.assign(data);
+  rec.metadata.user.assign(user);
+  rec.metadata.origin.assign(origin);
+  if (!GetStringList(&wire, &rec.metadata.purposes) ||
+      !GetStringList(&wire, &rec.metadata.objections) ||
+      !GetStringList(&wire, &rec.metadata.shared_with)) {
+    return Status::DataLoss("truncated record lists");
+  }
+  uint64_t expiry = 0, created = 0;
+  if (!GetFixed64(&wire, &expiry) || !GetFixed64(&wire, &created)) {
+    return Status::DataLoss("truncated record timestamps");
+  }
+  rec.metadata.expiry_micros = int64_t(expiry);
+  rec.metadata.created_micros = int64_t(created);
+  return rec;
+}
+
+size_t GdprRecord::ApproximateBytes() const {
+  size_t n = key.size() + data.size() + metadata.user.size() +
+             metadata.origin.size() + 16;
+  for (const auto& s : metadata.purposes) n += s.size() + 1;
+  for (const auto& s : metadata.objections) n += s.size() + 1;
+  for (const auto& s : metadata.shared_with) n += s.size() + 1;
+  return n;
+}
+
+}  // namespace gdpr

@@ -1,0 +1,610 @@
+#include "gdpr/rel_backend.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+#include "gdpr/access.h"
+
+namespace gdpr {
+
+namespace {
+
+constexpr const char kOpCreate[] = "CREATE-RECORD";
+constexpr const char kOpReadData[] = "READ-DATA-BY-KEY";
+constexpr const char kOpReadMeta[] = "READ-METADATA-BY-KEY";
+constexpr const char kOpReadMetaUser[] = "READ-METADATA-BY-USER";
+constexpr const char kOpReadMetaPurpose[] = "READ-METADATA-BY-PUR";
+constexpr const char kOpReadMetaSharing[] = "READ-METADATA-BY-SHR";
+constexpr const char kOpReadRecordsUser[] = "READ-RECORDS-BY-USER";
+constexpr const char kOpUpdateMeta[] = "UPDATE-METADATA-BY-KEY";
+constexpr const char kOpUpdateData[] = "UPDATE-DATA-BY-KEY";
+constexpr const char kOpDeleteKey[] = "DELETE-RECORD-BY-KEY";
+constexpr const char kOpDeleteUser[] = "DELETE-RECORDS-BY-USER";
+constexpr const char kOpDeleteExpired[] = "DELETE-EXPIRED-RECORDS";
+constexpr const char kOpVerifyDeletion[] = "VERIFY-DELETION";
+constexpr const char kOpGetLogs[] = "GET-SYSTEM-LOGS";
+constexpr const char kOpGetFeatures[] = "GET-SYSTEM-FEATURES";
+
+// Column order in gdpr_records.
+enum Col : size_t {
+  kKey = 0,
+  kUser,
+  kData,
+  kOrigin,
+  kPurposes,
+  kObjections,
+  kShared,
+  kExpiry,
+  kCreated,
+};
+
+// "No expiry" sorts last so an indexed range probe (expiry <= now) touches
+// only truly expired rows.
+constexpr int64_t kNoExpiry = std::numeric_limits<int64_t>::max();
+
+}  // namespace
+
+RelGdprStore::RelGdprStore(const RelGdprOptions& options) : options_(options) {
+  clock_ = options_.clock ? options_.clock : RealClock::Default();
+  rel::RelOptions ro = options_.rel;
+  ro.clock = clock_;
+  ro.encrypt_at_rest =
+      ro.encrypt_at_rest || options_.compliance.encrypt_at_rest;
+  db_ = std::make_unique<rel::Database>(ro);
+}
+
+RelGdprStore::~RelGdprStore() { Close().ok(); }
+
+Status RelGdprStore::Open() {
+  Status s = db_->Open();
+  if (!s.ok()) return s;
+  using rel::Schema;
+  using rel::ValueType;
+  auto t = db_->CreateTable(
+      "gdpr_records", Schema({{"key", ValueType::kString},
+                              {"user", ValueType::kString},
+                              {"data", ValueType::kString},
+                              {"origin", ValueType::kString},
+                              {"purposes", ValueType::kString},
+                              {"objections", ValueType::kString},
+                              {"shared", ValueType::kString},
+                              {"expiry", ValueType::kInt64},
+                              {"created", ValueType::kInt64}}));
+  if (!t.ok()) return t.status();
+  records_ = t.value();
+  Status si = db_->CreateIndex("gdpr_records", "key");
+  if (!si.ok()) return si;
+  if (indexing()) {
+    si = db_->CreateIndex("gdpr_records", "user");
+    if (!si.ok()) return si;
+    si = db_->CreateIndex("gdpr_records", "expiry");
+    if (!si.ok()) return si;
+    // Normalized join tables for the multi-valued metadata columns.
+    auto p = db_->CreateTable("gdpr_purpose_idx",
+                              Schema({{"purpose", ValueType::kString},
+                                      {"key", ValueType::kString}}));
+    if (!p.ok()) return p.status();
+    purpose_idx_ = p.value();
+    db_->CreateIndex("gdpr_purpose_idx", "purpose").ok();
+    db_->CreateIndex("gdpr_purpose_idx", "key").ok();
+    auto sh = db_->CreateTable("gdpr_sharing_idx",
+                               Schema({{"party", ValueType::kString},
+                                       {"key", ValueType::kString}}));
+    if (!sh.ok()) return sh.status();
+    sharing_idx_ = sh.value();
+    db_->CreateIndex("gdpr_sharing_idx", "party").ok();
+    db_->CreateIndex("gdpr_sharing_idx", "key").ok();
+  }
+  return Status::OK();
+}
+
+Status RelGdprStore::Close() { return db_->Close(); }
+
+void RelGdprStore::Audit(const Actor& actor, const char* op,
+                         const std::string& key, bool allowed) {
+  if (!options_.compliance.audit_enabled) return;
+  AuditEntry e;
+  e.timestamp_micros = NowMicros();
+  e.actor_id = actor.id;
+  e.role = actor.role;
+  e.op = op;
+  e.key = key;
+  e.allowed = allowed;
+  audit_log_.Append(std::move(e));
+}
+
+rel::Row RelGdprStore::ToRow(const GdprRecord& rec) const {
+  const GdprMetadata& m = rec.metadata;
+  return rel::Row{rel::Value(rec.key),
+                  rel::Value(m.user),
+                  rel::Value(rec.data),
+                  rel::Value(m.origin),
+                  rel::Value(JoinStrings(m.purposes, '|')),
+                  rel::Value(JoinStrings(m.objections, '|')),
+                  rel::Value(JoinStrings(m.shared_with, '|')),
+                  rel::Value(m.expiry_micros == 0 ? kNoExpiry
+                                                  : m.expiry_micros),
+                  rel::Value(m.created_micros)};
+}
+
+GdprRecord RelGdprStore::FromRow(const rel::Row& row) const {
+  GdprRecord rec;
+  rec.key = row[kKey].AsString();
+  rec.data = row[kData].AsString();
+  rec.metadata.user = row[kUser].AsString();
+  rec.metadata.origin = row[kOrigin].AsString();
+  rec.metadata.purposes = SplitString(row[kPurposes].AsString(), '|');
+  rec.metadata.objections = SplitString(row[kObjections].AsString(), '|');
+  rec.metadata.shared_with = SplitString(row[kShared].AsString(), '|');
+  const int64_t expiry = row[kExpiry].AsInt64();
+  rec.metadata.expiry_micros = expiry == kNoExpiry ? 0 : expiry;
+  rec.metadata.created_micros = row[kCreated].AsInt64();
+  return rec;
+}
+
+bool RelGdprStore::RowExpired(const rel::Row& row, int64_t now) const {
+  return row[kExpiry].AsInt64() <= now;  // kNoExpiry never passes
+}
+
+StatusOr<GdprRecord> RelGdprStore::GetRecord(const std::string& key) {
+  auto rows = db_->Select(records_,
+                          rel::Compare(kKey, rel::CompareOp::kEq,
+                                       rel::Value(key), "key"),
+                          1);
+  if (!rows.ok()) return rows.status();
+  if (rows.value().empty()) return Status::NotFound(key);
+  if (RowExpired(rows.value()[0], NowMicros())) {
+    return Status::NotFound(key + " (expired)");
+  }
+  return FromRow(rows.value()[0]);
+}
+
+size_t RelGdprStore::RemoveKey(const std::string& key, bool tombstone) {
+  const rel::Value kv(key);
+  auto deleted = db_->Delete(
+      records_, rel::Compare(kKey, rel::CompareOp::kEq, kv, "key"));
+  if (purpose_idx_) {
+    db_->Delete(purpose_idx_, rel::Compare(1, rel::CompareOp::kEq, kv, "key"))
+        .ok();
+  }
+  if (sharing_idx_) {
+    db_->Delete(sharing_idx_, rel::Compare(1, rel::CompareOp::kEq, kv, "key"))
+        .ok();
+  }
+  const size_t n = deleted.value_or(0);
+  if (tombstone && n > 0) {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    tombstones_.insert(key);
+  }
+  return n;
+}
+
+Status RelGdprStore::PutRecord(const GdprRecord& rec) {
+  RemoveKey(rec.key, /*tombstone=*/false);
+  Status s = db_->Insert(records_, ToRow(rec));
+  if (!s.ok()) return s;
+  if (purpose_idx_) {
+    for (const auto& p : rec.metadata.purposes) {
+      db_->Insert(purpose_idx_, {rel::Value(p), rel::Value(rec.key)}).ok();
+    }
+  }
+  if (sharing_idx_) {
+    for (const auto& tp : rec.metadata.shared_with) {
+      db_->Insert(sharing_idx_, {rel::Value(tp), rel::Value(rec.key)}).ok();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    tombstones_.erase(rec.key);
+  }
+  return Status::OK();
+}
+
+std::vector<GdprRecord> RelGdprStore::CollectWhere(
+    const std::function<bool(const GdprRecord&)>& match) {
+  const int64_t now = NowMicros();
+  std::vector<GdprRecord> out;
+  auto rows = db_->SelectWhere(records_, [&](const rel::Row& row) {
+    return !RowExpired(row, now);
+  });
+  if (!rows.ok()) return out;
+  for (const auto& row : rows.value()) {
+    GdprRecord rec = FromRow(row);
+    if (match(rec)) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<GdprRecord> RelGdprStore::CollectByJoinTable(
+    rel::Table* join, const std::string& value) {
+  std::vector<GdprRecord> out;
+  auto rows = db_->Select(
+      join, rel::Compare(0, rel::CompareOp::kEq, rel::Value(value), ""));
+  if (!rows.ok()) return out;
+  for (const auto& row : rows.value()) {
+    auto rec = GetRecord(row[1].AsString());
+    if (rec.ok()) out.push_back(std::move(rec.value()));
+  }
+  return out;
+}
+
+Status RelGdprStore::CreateRecord(const Actor& actor,
+                                  const GdprRecord& record) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpCreate, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kCustomer &&
+      record.metadata.user != actor.id) {
+    access = Status::PermissionDenied("customer can only create own records");
+  }
+  if (!access.ok()) {
+    Audit(actor, kOpCreate, record.key, false);
+    return access;
+  }
+  GdprRecord rec = record;
+  if (rec.metadata.created_micros == 0) rec.metadata.created_micros = NowMicros();
+  std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
+  Status s = PutRecord(rec);
+  Audit(actor, kOpCreate, rec.key, s.ok());
+  return s;
+}
+
+StatusOr<GdprRecord> RelGdprStore::ReadDataByKey(const Actor& actor,
+                                                 const std::string& key) {
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpReadData, key, false);
+    return rec.status();
+  }
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpReadData, &rec.value());
+  Audit(actor, kOpReadData, key, access.ok());
+  if (!access.ok()) return access;
+  return rec;
+}
+
+StatusOr<GdprMetadata> RelGdprStore::ReadMetadataByKey(const Actor& actor,
+                                                       const std::string& key) {
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpReadMeta, key, false);
+    return rec.status();
+  }
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpReadMeta, &rec.value());
+  Audit(actor, kOpReadMeta, key, access.ok());
+  if (!access.ok()) return access;
+  return rec.value().metadata;
+}
+
+StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByUser(
+    const Actor& actor, const std::string& user) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpReadMetaUser, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
+    access = Status::PermissionDenied("customer can only query own records");
+  }
+  Audit(actor, kOpReadMetaUser, user, access.ok());
+  if (!access.ok()) return access;
+  std::vector<GdprRecord> recs;
+  if (indexing()) {
+    const int64_t now = NowMicros();
+    auto rows = db_->Select(records_,
+                            rel::Compare(kUser, rel::CompareOp::kEq,
+                                         rel::Value(user), "user"));
+    if (rows.ok()) {
+      for (const auto& row : rows.value()) {
+        if (!RowExpired(row, now)) recs.push_back(FromRow(row));
+      }
+    }
+  } else {
+    recs = CollectWhere(
+        [&](const GdprRecord& r) { return r.metadata.user == user; });
+  }
+  for (auto& r : recs) r.data.clear();
+  return recs;
+}
+
+StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByPurpose(
+    const Actor& actor, const std::string& purpose) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpReadMetaPurpose, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kProcessor &&
+      actor.purpose != purpose) {
+    access = Status::PermissionDenied("processor purpose mismatch");
+  }
+  Audit(actor, kOpReadMetaPurpose, purpose, access.ok());
+  if (!access.ok()) return access;
+  std::vector<GdprRecord> recs =
+      indexing() ? CollectByJoinTable(purpose_idx_, purpose)
+                 : CollectWhere([&](const GdprRecord& r) {
+                     return r.metadata.HasPurpose(purpose);
+                   });
+  for (auto& r : recs) r.data.clear();
+  return recs;
+}
+
+StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataBySharing(
+    const Actor& actor, const std::string& third_party) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpReadMetaSharing, nullptr);
+  Audit(actor, kOpReadMetaSharing, third_party, access.ok());
+  if (!access.ok()) return access;
+  std::vector<GdprRecord> recs =
+      indexing() ? CollectByJoinTable(sharing_idx_, third_party)
+                 : CollectWhere([&](const GdprRecord& r) {
+                     return r.metadata.SharedWith(third_party);
+                   });
+  for (auto& r : recs) r.data.clear();
+  return recs;
+}
+
+StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadRecordsByUser(
+    const Actor& actor, const std::string& user) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpReadRecordsUser, nullptr);
+  if (access.ok()) {
+    const bool owner =
+        actor.role == Actor::Role::kCustomer && actor.id == user;
+    if (actor.role != Actor::Role::kController && !owner) {
+      access = Status::PermissionDenied(
+          "full records limited to controller or the data subject");
+    }
+  }
+  Audit(actor, kOpReadRecordsUser, user, access.ok());
+  if (!access.ok()) return access;
+  if (indexing()) {
+    const int64_t now = NowMicros();
+    std::vector<GdprRecord> recs;
+    auto rows = db_->Select(records_,
+                            rel::Compare(kUser, rel::CompareOp::kEq,
+                                         rel::Value(user), "user"));
+    if (rows.ok()) {
+      for (const auto& row : rows.value()) {
+        if (!RowExpired(row, now)) recs.push_back(FromRow(row));
+      }
+    }
+    return recs;
+  }
+  return CollectWhere(
+      [&](const GdprRecord& r) { return r.metadata.user == user; });
+}
+
+Status RelGdprStore::UpdateMetadataByKey(const Actor& actor,
+                                         const std::string& key,
+                                         const MetadataUpdate& update) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpUpdateMeta, key, false);
+    return rec.status();
+  }
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpUpdateMeta, &rec.value());
+  if (!access.ok()) {
+    Audit(actor, kOpUpdateMeta, key, false);
+    return access;
+  }
+  GdprRecord updated = rec.value();
+  if (update.user) updated.metadata.user = *update.user;
+  if (update.purposes) updated.metadata.purposes = *update.purposes;
+  if (update.objections) updated.metadata.objections = *update.objections;
+  if (update.shared_with) updated.metadata.shared_with = *update.shared_with;
+  if (update.origin) updated.metadata.origin = *update.origin;
+  if (update.expiry_micros) updated.metadata.expiry_micros = *update.expiry_micros;
+  Status s = PutRecord(updated);
+  Audit(actor, kOpUpdateMeta, key, s.ok());
+  return s;
+}
+
+Status RelGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
+                                     const std::string& data) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpUpdateData, key, false);
+    return rec.status();
+  }
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpUpdateData, &rec.value());
+  if (!access.ok()) {
+    Audit(actor, kOpUpdateData, key, false);
+    return access;
+  }
+  GdprRecord updated = rec.value();
+  updated.data = data;
+  Status s = PutRecord(updated);
+  Audit(actor, kOpUpdateData, key, s.ok());
+  return s;
+}
+
+Status RelGdprStore::DeleteRecordByKey(const Actor& actor,
+                                       const std::string& key) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  auto rec = GetRecord(key);
+  if (!rec.ok()) {
+    Audit(actor, kOpDeleteKey, key, false);
+    return rec.status();
+  }
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpDeleteKey, &rec.value());
+  if (!access.ok()) {
+    Audit(actor, kOpDeleteKey, key, false);
+    return access;
+  }
+  RemoveKey(key, /*tombstone=*/true);
+  Audit(actor, kOpDeleteKey, key, true);
+  return Status::OK();
+}
+
+StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
+                                                   const std::string& user) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpDeleteUser, nullptr);
+  if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
+    access = Status::PermissionDenied("customer can only erase own records");
+  }
+  if (!access.ok()) {
+    Audit(actor, kOpDeleteUser, user, false);
+    return access;
+  }
+  std::vector<std::string> keys;
+  if (indexing()) {
+    auto rows = db_->Select(records_,
+                            rel::Compare(kUser, rel::CompareOp::kEq,
+                                         rel::Value(user), "user"));
+    if (rows.ok()) {
+      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    }
+  } else {
+    auto rows = db_->SelectWhere(records_, [&](const rel::Row& row) {
+      return row[kUser].AsString() == user;
+    });
+    if (rows.ok()) {
+      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    }
+  }
+  size_t erased = 0;
+  for (const auto& k : keys) {
+    std::lock_guard<std::mutex> key_lock(KeyMutex(k));
+    // Revalidate under the key lock: a concurrent upsert may have handed
+    // the key to another subject since collection.
+    auto rows = db_->Select(records_,
+                            rel::Compare(kKey, rel::CompareOp::kEq,
+                                         rel::Value(k), "key"),
+                            1);
+    if (!rows.ok() || rows.value().empty() ||
+        rows.value()[0][kUser].AsString() != user) {
+      continue;
+    }
+    erased += RemoveKey(k, /*tombstone=*/true);
+  }
+  Audit(actor, kOpDeleteUser, user, true);
+  return erased;
+}
+
+StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpDeleteExpired, nullptr);
+  if (!access.ok()) {
+    Audit(actor, kOpDeleteExpired, "", false);
+    return access;
+  }
+  const int64_t now = NowMicros();
+  std::vector<std::string> keys;
+  if (indexing()) {
+    // Indexed range probe over the expiry B+tree: O(expired), the rows with
+    // kNoExpiry sort above `now` and are never touched.
+    auto rows = db_->Select(records_,
+                            rel::Compare(kExpiry, rel::CompareOp::kLe,
+                                         rel::Value(now), "expiry"));
+    if (rows.ok()) {
+      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    }
+  } else {
+    auto rows = db_->SelectWhere(records_, [&](const rel::Row& row) {
+      return RowExpired(row, now);
+    });
+    if (rows.ok()) {
+      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    }
+  }
+  size_t erased = 0;
+  for (const auto& k : keys) {
+    std::lock_guard<std::mutex> key_lock(KeyMutex(k));
+    auto rows = db_->Select(records_,
+                            rel::Compare(kKey, rel::CompareOp::kEq,
+                                         rel::Value(k), "key"),
+                            1);
+    if (!rows.ok() || rows.value().empty() ||
+        !RowExpired(rows.value()[0], now)) {
+      continue;  // re-created or TTL extended since collection
+    }
+    erased += RemoveKey(k, /*tombstone=*/true);
+  }
+  Audit(actor, kOpDeleteExpired, "", true);
+  return erased;
+}
+
+StatusOr<bool> RelGdprStore::VerifyDeletion(const Actor& actor,
+                                            const std::string& key) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpVerifyDeletion, nullptr);
+  Audit(actor, kOpVerifyDeletion, key, access.ok());
+  if (!access.ok()) return access;
+  auto rows = db_->Select(records_,
+                          rel::Compare(kKey, rel::CompareOp::kEq,
+                                       rel::Value(key), "key"),
+                          1);
+  const bool gone = rows.ok() && rows.value().empty();
+  bool evidenced = false;
+  {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    evidenced = tombstones_.count(key) != 0;
+  }
+  return gone && evidenced;
+}
+
+StatusOr<std::vector<AuditEntry>> RelGdprStore::GetSystemLogs(
+    const Actor& actor, int64_t from_micros, int64_t to_micros) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, kOpGetLogs, nullptr);
+  if (access.ok() && actor.role != Actor::Role::kRegulator &&
+      actor.role != Actor::Role::kController) {
+    access = Status::PermissionDenied("logs limited to regulator/controller");
+  }
+  if (!access.ok()) {
+    Audit(actor, kOpGetLogs, "", false);
+    return access;
+  }
+  std::vector<AuditEntry> out = audit_log_.Query(from_micros, to_micros);
+  Audit(actor, kOpGetLogs, "", true);
+  return out;
+}
+
+StatusOr<Features> RelGdprStore::GetFeatures(const Actor& actor) {
+  Audit(actor, kOpGetFeatures, "", true);
+  return BuildFeatures("reldb", options_.compliance,
+                       /*has_secondary_indexes=*/true);
+}
+
+Status RelGdprStore::ScanRecords(
+    const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, "SCAN-RECORDS", nullptr);
+  if (access.ok() && actor.role == Actor::Role::kProcessor) {
+    access = Status::PermissionDenied("processor cannot scan");
+  }
+  Audit(actor, "SCAN-RECORDS", "", access.ok());
+  if (!access.ok()) return access;
+  const int64_t now = NowMicros();
+  db_->ScanRows(records_, [&](const rel::Row& row) {
+    if (RowExpired(row, now)) return true;
+    return fn(FromRow(row));
+  }).ok();
+  return Status::OK();
+}
+
+size_t RelGdprStore::RecordCount() {
+  return records_ ? records_->live_rows() : 0;
+}
+
+size_t RelGdprStore::TotalBytes() {
+  return db_->ApproximateBytes() + audit_log_.ApproximateBytes();
+}
+
+Status RelGdprStore::Reset() {
+  if (records_) {
+    db_->DeleteWhere(records_, [](const rel::Row&) { return true; }).ok();
+  }
+  if (purpose_idx_) {
+    db_->DeleteWhere(purpose_idx_, [](const rel::Row&) { return true; }).ok();
+  }
+  if (sharing_idx_) {
+    db_->DeleteWhere(sharing_idx_, [](const rel::Row&) { return true; }).ok();
+  }
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  tombstones_.clear();
+  return Status::OK();
+}
+
+}  // namespace gdpr

@@ -1,0 +1,29 @@
+#include "gdpr/retention.h"
+
+namespace gdpr {
+
+StatusOr<std::vector<RetentionViolation>> AuditRetention(
+    GdprStore* store, const Actor& actor, const RetentionPolicy& policy,
+    int64_t now_micros) {
+  std::vector<RetentionViolation> violations;
+  Status s = store->ScanRecords(actor, [&](const GdprRecord& rec) {
+    for (const auto& [purpose, max_age] : policy.rules()) {
+      if (!rec.metadata.HasPurpose(purpose)) continue;
+      const int64_t created = rec.metadata.created_micros
+                                  ? rec.metadata.created_micros
+                                  : now_micros;
+      const int64_t required = created + max_age;
+      if (rec.metadata.expiry_micros == 0 ||
+          rec.metadata.expiry_micros > required) {
+        violations.push_back(
+            RetentionViolation{rec.key, rec.metadata.user, purpose, required});
+        break;  // one violation per record is enough
+      }
+    }
+    return true;
+  });
+  if (!s.ok()) return s;
+  return violations;
+}
+
+}  // namespace gdpr

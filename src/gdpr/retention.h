@@ -1,0 +1,40 @@
+// Purpose-based retention (G 5(1e)): a policy maps purposes to maximum
+// retention ages; AuditRetention reports records that outlive their policy
+// (or carry no TTL at all when one is required).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gdpr/store.h"
+
+namespace gdpr {
+
+class RetentionPolicy {
+ public:
+  void SetRule(const std::string& purpose, int64_t max_age_micros) {
+    rules_[purpose] = max_age_micros;
+  }
+  const std::map<std::string, int64_t>& rules() const { return rules_; }
+
+ private:
+  std::map<std::string, int64_t> rules_;
+};
+
+struct RetentionViolation {
+  std::string key;
+  std::string user;
+  std::string purpose;        // the rule that was violated
+  int64_t required_micros = 0;  // latest acceptable expiry
+};
+
+// Scans the store as `actor` and reports every record holding a ruled
+// purpose whose expiry is missing or later than created + max_age.
+StatusOr<std::vector<RetentionViolation>> AuditRetention(
+    GdprStore* store, const Actor& actor, const RetentionPolicy& policy,
+    int64_t now_micros);
+
+}  // namespace gdpr

@@ -1,0 +1,107 @@
+// GdprStore: the paper's GDPR query API (Table 2), implemented by the KV
+// and relational backends. All operations carry the acting party; access
+// control and auditing happen inside the store, not in the caller.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "gdpr/actor.h"
+#include "gdpr/audit.h"
+#include "gdpr/compliance.h"
+#include "gdpr/record.h"
+
+namespace gdpr {
+
+// Partial metadata update: only the fields that are set change.
+struct MetadataUpdate {
+  std::optional<std::string> user;
+  std::optional<std::vector<std::string>> purposes;
+  std::optional<std::vector<std::string>> objections;
+  std::optional<std::vector<std::string>> shared_with;
+  std::optional<std::string> origin;
+  std::optional<int64_t> expiry_micros;
+};
+
+class GdprStore {
+ public:
+  virtual ~GdprStore() = default;
+
+  virtual Status Open() = 0;
+  virtual Status Close() = 0;
+
+  // CREATE-RECORD (upsert).
+  virtual Status CreateRecord(const Actor& actor, const GdprRecord& record) = 0;
+
+  // READ-DATA-BY-KEY: the personal datum plus metadata.
+  virtual StatusOr<GdprRecord> ReadDataByKey(const Actor& actor,
+                                             const std::string& key) = 0;
+  // READ-METADATA-BY-KEY.
+  virtual StatusOr<GdprMetadata> ReadMetadataByKey(const Actor& actor,
+                                                   const std::string& key) = 0;
+  // READ-METADATA-BY-USER / -PURPOSE / -SHR: metadata queries; personal data
+  // in the results is masked unless the actor owns it.
+  virtual StatusOr<std::vector<GdprRecord>> ReadMetadataByUser(
+      const Actor& actor, const std::string& user) = 0;
+  virtual StatusOr<std::vector<GdprRecord>> ReadMetadataByPurpose(
+      const Actor& actor, const std::string& purpose) = 0;
+  virtual StatusOr<std::vector<GdprRecord>> ReadMetadataBySharing(
+      const Actor& actor, const std::string& third_party) = 0;
+  // Full records for a user, data included (G 15 / G 20 export path).
+  virtual StatusOr<std::vector<GdprRecord>> ReadRecordsByUser(
+      const Actor& actor, const std::string& user) = 0;
+
+  // UPDATE-METADATA-BY-KEY (G 16/18/21: rectification, consent, objection).
+  virtual Status UpdateMetadataByKey(const Actor& actor, const std::string& key,
+                                     const MetadataUpdate& update) = 0;
+  // UPDATE-DATA-BY-KEY.
+  virtual Status UpdateDataByKey(const Actor& actor, const std::string& key,
+                                 const std::string& data) = 0;
+
+  // DELETE-RECORD-BY-KEY / DELETE-RECORDS-BY-USER (G 17).
+  virtual Status DeleteRecordByKey(const Actor& actor,
+                                   const std::string& key) = 0;
+  virtual StatusOr<size_t> DeleteRecordsByUser(const Actor& actor,
+                                               const std::string& user) = 0;
+  // Timely-deletion sweep (G 5(1e)); returns records reclaimed.
+  virtual StatusOr<size_t> DeleteExpiredRecords(const Actor& actor) = 0;
+
+  // Regulator verification that a key is gone and its erasure is evidenced.
+  virtual StatusOr<bool> VerifyDeletion(const Actor& actor,
+                                        const std::string& key) = 0;
+
+  // GET-SYSTEM-LOGS over [from, to] (G 30/33).
+  virtual StatusOr<std::vector<AuditEntry>> GetSystemLogs(
+      const Actor& actor, int64_t from_micros, int64_t to_micros) = 0;
+
+  // GET-SYSTEM-FEATURES (Table 1 compliance matrix).
+  virtual StatusOr<Features> GetFeatures(const Actor& actor) = 0;
+
+  // Controller-side iteration over all records (retention audits). fn
+  // returns false to stop.
+  virtual Status ScanRecords(
+      const Actor& actor,
+      const std::function<bool(const GdprRecord&)>& fn) = 0;
+
+  // Live record count / resident bytes (Table 3 space factor).
+  virtual size_t RecordCount() = 0;
+  virtual size_t TotalBytes() = 0;
+
+  // Drops all records and derived state (not the audit trail); bench reload.
+  virtual Status Reset() = 0;
+
+  AuditLog* audit_log() { return &audit_log_; }
+  Clock* clock() { return clock_; }
+
+ protected:
+  AuditLog audit_log_;
+  Clock* clock_ = nullptr;
+};
+
+}  // namespace gdpr

@@ -1,0 +1,431 @@
+#include "kvstore/db.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/coding.h"
+#include "crypto/sha256.h"
+
+namespace gdpr::kv {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t HashKey(const std::string& key) {
+  // FNV-1a; cheap and good enough for shard striping.
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= uint8_t(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+MemKV::MemKV(const Options& options) : options_(options) {
+  clock_ = options_.clock ? options_.clock : RealClock::Default();
+  env_ = options_.env ? options_.env : Env::Posix();
+  const size_t n = RoundUpPow2(std::max<size_t>(1, options_.shards));
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  if (options_.encrypt_at_rest) {
+    aead_ = std::make_unique<Aead>(options_.encryption_key);
+  }
+}
+
+MemKV::~MemKV() { Close().ok(); }
+
+MemKV::Shard& MemKV::ShardFor(const std::string& key) {
+  return *shards_[HashKey(key) & shard_mask_];
+}
+
+Status MemKV::Open() {
+  if (open_.load()) return Status::OK();
+  if (options_.aof_enabled) {
+    if (options_.aof_path.empty()) {
+      return Status::InvalidArgument("aof_enabled requires aof_path");
+    }
+    if (env_->FileExists(options_.aof_path)) {
+      auto contents = env_->ReadFileToString(options_.aof_path);
+      if (contents.ok()) {
+        Status s = AofReplay(contents.value());
+        if (!s.ok()) return s;
+      }
+    }
+    auto file = env_->NewWritableFile(options_.aof_path, /*truncate=*/false);
+    if (!file.ok()) return file.status();
+    aof_ = std::move(file.value());
+    aof_active_.store(true, std::memory_order_release);
+    last_sync_micros_ = RealClock::Default()->NowMicros();
+  }
+  open_.store(true);
+  return Status::OK();
+}
+
+Status MemKV::Close() {
+  if (!open_.exchange(false)) return Status::OK();
+  StopExpiryCron();
+  aof_active_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> l(aof_mu_);
+  if (aof_) {
+    aof_->Flush().ok();
+    Status s = aof_->Close();
+    aof_.reset();
+    return s;
+  }
+  return Status::OK();
+}
+
+void MemKV::RegisterTtlLocked(Shard& s, const std::string& key,
+                              int64_t expiry) {
+  s.ttl_heap.push(HeapItem{expiry, key});
+  auto it = s.ttl_pos.find(key);
+  if (it == s.ttl_pos.end()) {
+    s.ttl_pos.emplace(key, s.ttl_keys.size());
+    s.ttl_keys.push_back(key);
+  }
+}
+
+void MemKV::UnregisterTtlLocked(Shard& s, const std::string& key) {
+  auto it = s.ttl_pos.find(key);
+  if (it == s.ttl_pos.end()) return;
+  const size_t pos = it->second;
+  const size_t last = s.ttl_keys.size() - 1;
+  if (pos != last) {
+    s.ttl_keys[pos] = std::move(s.ttl_keys[last]);
+    s.ttl_pos[s.ttl_keys[pos]] = pos;
+  }
+  s.ttl_keys.pop_back();
+  s.ttl_pos.erase(it);
+  // Heap entries are left stale and skipped on pop.
+}
+
+void MemKV::EraseLocked(Shard& s, const std::string& key) {
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return;
+  s.bytes -= key.size() + it->second.value.size();
+  s.map.erase(it);
+  UnregisterTtlLocked(s, key);
+}
+
+Status MemKV::SetInternal(const std::string& key, const std::string& value,
+                          int64_t expiry_abs, bool log_to_aof) {
+  std::string stored = value;
+  if (aead_) {
+    stored = aead_->Seal(value, seal_seq_.fetch_add(1));
+  }
+  // The AOF carries the stored (possibly sealed) value: at-rest bytes never
+  // hit disk in plaintext when encryption is on.
+  const bool log = log_to_aof && aof_active_.load(std::memory_order_acquire);
+  std::string aof_copy = log ? stored : std::string();
+  Shard& s = ShardFor(key);
+  {
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    auto [it, inserted] = s.map.try_emplace(key);
+    if (!inserted) {
+      s.bytes -= it->second.value.size();
+      if (it->second.expiry_micros != 0 && expiry_abs == 0) {
+        UnregisterTtlLocked(s, key);
+      }
+    } else {
+      s.bytes += key.size();
+    }
+    it->second.value = std::move(stored);
+    it->second.expiry_micros = expiry_abs;
+    s.bytes += it->second.value.size();
+    if (expiry_abs != 0) RegisterTtlLocked(s, key, expiry_abs);
+    // Log under the shard lock: AOF order must match apply order for
+    // same-key races, or replay restores the overwritten value. Lock order
+    // is always shard.mu -> aof_mu_.
+    if (log) return AofAppend('S', key, aof_copy, expiry_abs);
+  }
+  return Status::OK();
+}
+
+Status MemKV::Set(const std::string& key, const std::string& value) {
+  return SetInternal(key, value, 0, true);
+}
+
+Status MemKV::SetWithTtl(const std::string& key, const std::string& value,
+                         int64_t ttl_micros) {
+  const int64_t expiry = ttl_micros > 0 ? NowMicros() + ttl_micros : 0;
+  return SetInternal(key, value, expiry, true);
+}
+
+StatusOr<std::string> MemKV::Get(const std::string& key) {
+  Shard& s = ShardFor(key);
+  std::string stored;
+  {
+    std::shared_lock<std::shared_mutex> l(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return Status::NotFound(key);
+    if (it->second.expiry_micros != 0 &&
+        it->second.expiry_micros <= NowMicros()) {
+      // Logically dead; erasure happens in the expiry cycle.
+      return Status::NotFound(key + " (expired)");
+    }
+    stored = it->second.value;
+  }
+  if (options_.log_reads && aof_active_.load(std::memory_order_acquire)) {
+    Status s2 = AofAppend('R', key, "", 0);
+    if (!s2.ok()) return s2;
+  }
+  if (aead_) return aead_->Open(stored);
+  return stored;
+}
+
+Status MemKV::Delete(const std::string& key) {
+  Shard& s = ShardFor(key);
+  bool existed = false;
+  {
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    existed = s.map.count(key) != 0;
+    EraseLocked(s, key);
+    if (aof_active_.load(std::memory_order_acquire)) {
+      Status s2 = AofAppend('D', key, "", 0);
+      if (!s2.ok()) return s2;
+    }
+  }
+  return existed ? Status::OK() : Status::NotFound(key);
+}
+
+size_t MemKV::Size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::shared_lock<std::shared_mutex> l(s->mu);
+    total += s->map.size();
+  }
+  return total;
+}
+
+size_t MemKV::ApproximateBytes() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::shared_lock<std::shared_mutex> l(s->mu);
+    total += s->bytes + s->ttl_keys.size() * 16;
+  }
+  return total;
+}
+
+void MemKV::Scan(const std::function<bool(const std::string&,
+                                          const std::string&)>& fn) {
+  const int64_t now = NowMicros();
+  for (const auto& s : shards_) {
+    std::shared_lock<std::shared_mutex> l(s->mu);
+    for (const auto& [key, entry] : s->map) {
+      if (entry.expiry_micros != 0 && entry.expiry_micros <= now) continue;
+      if (aead_) {
+        auto plain = aead_->Open(entry.value);
+        if (!plain.ok()) continue;
+        if (!fn(key, plain.value())) return;
+      } else {
+        if (!fn(key, entry.value)) return;
+      }
+    }
+  }
+}
+
+size_t MemKV::RunExpiryCycle() {
+  const int64_t now = NowMicros();
+  return options_.expiry_mode == ExpiryMode::kStrictScan ? RunStrictCycle(now)
+                                                         : RunLazyCycle(now);
+}
+
+size_t MemKV::RunStrictCycle(int64_t now) {
+  size_t erased = 0;
+  const bool log = aof_active_.load(std::memory_order_acquire);
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    while (!s.ttl_heap.empty() && s.ttl_heap.top().expiry_micros <= now) {
+      HeapItem item = s.ttl_heap.top();
+      s.ttl_heap.pop();
+      auto it = s.map.find(item.key);
+      // Skip stale heap entries: key gone, TTL rewritten, or persisted.
+      if (it == s.map.end() || it->second.expiry_micros == 0 ||
+          it->second.expiry_micros > now ||
+          it->second.expiry_micros != item.expiry_micros) {
+        continue;
+      }
+      EraseLocked(s, item.key);
+      // Logged under the shard lock so a racing re-Set of the key cannot
+      // be ordered before this 'D' in the AOF.
+      if (log) AofAppend('D', item.key, "", 0).ok();
+      ++erased;
+    }
+  }
+  AofMaybeSync();
+  return erased;
+}
+
+size_t MemKV::RunLazyCycle(int64_t now) {
+  // Redis ACTIVE_EXPIRE_CYCLE: sample 20 keys from the TTL registry; erase
+  // the expired; repeat while >25% of the sample was expired, bounded.
+  constexpr size_t kSamplesPerRound = 20;
+  constexpr size_t kMaxRounds = 16;
+  size_t erased_total = 0;
+  std::lock_guard<std::mutex> lazy_lock(lazy_mu_);
+  const bool log = aof_active_.load(std::memory_order_acquire);
+  for (size_t round = 0; round < kMaxRounds; ++round) {
+    size_t sampled = 0, erased = 0;
+    for (size_t i = 0; i < kSamplesPerRound; ++i) {
+      Shard& s = *shards_[lazy_rng_.Uniform(shards_.size())];
+      std::unique_lock<std::shared_mutex> l(s.mu);
+      if (s.ttl_keys.empty()) continue;
+      const std::string key = s.ttl_keys[lazy_rng_.Uniform(s.ttl_keys.size())];
+      ++sampled;
+      auto it = s.map.find(key);
+      if (it != s.map.end() && it->second.expiry_micros != 0 &&
+          it->second.expiry_micros <= now) {
+        EraseLocked(s, key);
+        if (log) AofAppend('D', key, "", 0).ok();
+        ++erased;
+      }
+    }
+    erased_total += erased;
+    if (sampled == 0 || erased * 4 <= sampled) break;  // < 25% expired
+  }
+  AofMaybeSync();
+  return erased_total;
+}
+
+void MemKV::StartExpiryCron() {
+  if (cron_running_.exchange(true)) return;
+  cron_ = std::thread([this] {
+    const auto period =
+        std::chrono::microseconds(options_.expiry_cycle_micros);
+    std::unique_lock<std::mutex> l(cron_mu_);
+    while (cron_running_.load()) {
+      cron_cv_.wait_for(l, period);
+      if (!cron_running_.load()) break;
+      RunExpiryCycle();
+    }
+  });
+}
+
+void MemKV::StopExpiryCron() {
+  if (!cron_running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> l(cron_mu_);
+    cron_cv_.notify_all();
+  }
+  if (cron_.joinable()) cron_.join();
+}
+
+void MemKV::Clear() {
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    s.map.clear();
+    s.ttl_keys.clear();
+    s.ttl_pos.clear();
+    while (!s.ttl_heap.empty()) s.ttl_heap.pop();
+    s.bytes = 0;
+  }
+}
+
+Status MemKV::AofAppend(char op, const std::string& key,
+                        const std::string& value, int64_t expiry) {
+  std::string rec;
+  rec.push_back(op);
+  PutLengthPrefixed(&rec, key);
+  if (op == 'S') {
+    PutLengthPrefixed(&rec, value);
+    PutFixed64(&rec, uint64_t(expiry));
+  }
+  std::lock_guard<std::mutex> l(aof_mu_);
+  if (!aof_) return Status::OK();
+  Status s = aof_->Append(rec);
+  if (!s.ok()) return s;
+  if (options_.sync_policy == SyncPolicy::kAlways) return aof_->Sync();
+  if (options_.sync_policy == SyncPolicy::kEverySec) {
+    const int64_t now = RealClock::Default()->NowMicros();
+    if (now - last_sync_micros_ >= 1000000) {
+      last_sync_micros_ = now;
+      return aof_->Sync();
+    }
+  }
+  return Status::OK();
+}
+
+void MemKV::AofMaybeSync() {
+  std::lock_guard<std::mutex> l(aof_mu_);
+  if (!aof_ || options_.sync_policy != SyncPolicy::kEverySec) return;
+  const int64_t now = RealClock::Default()->NowMicros();
+  if (now - last_sync_micros_ >= 1000000) {
+    last_sync_micros_ = now;
+    aof_->Sync().ok();
+  }
+}
+
+Status MemKV::AofReplay(const std::string& contents) {
+  std::string_view in(contents);
+  const int64_t now = NowMicros();
+  while (!in.empty()) {
+    const char op = in.front();
+    in.remove_prefix(1);
+    std::string_view key;
+    if (!GetLengthPrefixed(&in, &key)) {
+      return Status::DataLoss("truncated AOF record");
+    }
+    if (op == 'S') {
+      std::string_view value;
+      uint64_t expiry = 0;
+      if (!GetLengthPrefixed(&in, &value) || !GetFixed64(&in, &expiry)) {
+        return Status::DataLoss("truncated AOF set record");
+      }
+      if (aead_ && value.size() >= 8) {
+        // Sealed blobs lead with their seal sequence; the counter must
+        // resume above every replayed value or ChaCha20 nonces repeat
+        // across restarts (keystream reuse => plaintext recovery).
+        uint64_t seq = 0;
+        for (int i = 0; i < 8; ++i) {
+          seq |= uint64_t(uint8_t(value[size_t(i)])) << (8 * i);
+        }
+        uint64_t cur = seal_seq_.load();
+        while (seq + 1 > cur && !seal_seq_.compare_exchange_weak(cur, seq + 1)) {
+        }
+      }
+      if (expiry != 0 && int64_t(expiry) <= now) {
+        // The last write of this key is already dead: erase any earlier
+        // replayed value instead of skipping, or it would be resurrected.
+        const std::string k(key);
+        Shard& s = ShardFor(k);
+        std::unique_lock<std::shared_mutex> l(s.mu);
+        EraseLocked(s, k);
+        continue;
+      }
+      Shard& s = ShardFor(std::string(key));
+      std::unique_lock<std::shared_mutex> l(s.mu);
+      auto [it, inserted] = s.map.try_emplace(std::string(key));
+      if (!inserted) s.bytes -= it->second.value.size();
+      else s.bytes += key.size();
+      it->second.value = std::string(value);
+      it->second.expiry_micros = int64_t(expiry);
+      s.bytes += it->second.value.size();
+      if (expiry != 0) {
+        RegisterTtlLocked(s, std::string(key), int64_t(expiry));
+      }
+    } else if (op == 'D') {
+      const std::string k(key);
+      Shard& s = ShardFor(k);
+      std::unique_lock<std::shared_mutex> l(s.mu);
+      EraseLocked(s, k);
+    } else if (op == 'R') {
+      // read-log entry: no state change
+    } else {
+      return Status::DataLoss("unknown AOF opcode");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gdpr::kv

@@ -1,0 +1,187 @@
+#include "relstore/bptree.h"
+
+#include <algorithm>
+
+namespace gdpr::rel {
+
+// Entries and separators are composite (key, row_id) pairs: duplicates of a
+// key are totally ordered, which keeps Erase a point lookup.
+struct BPlusTree::Node {
+  bool leaf;
+  std::vector<LeafEntry> entries;  // leaf payload
+  std::vector<LeafEntry> keys;     // internal separators
+  std::vector<Node*> children;
+  Node* next = nullptr;  // leaf chain
+
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+  ~Node() {
+    for (Node* c : children) delete c;
+  }
+};
+
+namespace {
+
+inline int CompositeCompare(const Value& a_key, uint64_t a_rid,
+                            const Value& b_key, uint64_t b_rid) {
+  const int c = a_key.Compare(b_key);
+  if (c != 0) return c;
+  return a_rid < b_rid ? -1 : (a_rid > b_rid ? 1 : 0);
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree() : root_(new Node(true)) {}
+
+BPlusTree::~BPlusTree() { delete root_; }
+
+BPlusTree::Node* BPlusTree::FindLeaf(const Value& key, uint64_t row_id,
+                                     std::vector<Node*>* path) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    if (path) path->push_back(n);
+    // First child whose separator is > (key, row_id).
+    size_t i = 0;
+    while (i < n->keys.size() &&
+           CompositeCompare(n->keys[i].key, n->keys[i].row_id, key, row_id) <=
+               0) {
+      ++i;
+    }
+    n = n->children[i];
+  }
+  return n;
+}
+
+void BPlusTree::SplitChild(Node* parent, size_t child_idx) {
+  Node* left = parent->children[child_idx];
+  Node* right = new Node(left->leaf);
+  LeafEntry separator;
+  if (left->leaf) {
+    const size_t mid = left->entries.size() / 2;
+    right->entries.assign(left->entries.begin() + mid, left->entries.end());
+    left->entries.resize(mid);
+    separator = right->entries.front();
+    right->next = left->next;
+    left->next = right;
+  } else {
+    const size_t mid = left->keys.size() / 2;
+    separator = left->keys[mid];
+    right->keys.assign(left->keys.begin() + mid + 1, left->keys.end());
+    right->children.assign(left->children.begin() + mid + 1,
+                           left->children.end());
+    left->keys.resize(mid);
+    left->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + child_idx, separator);
+  parent->children.insert(parent->children.begin() + child_idx + 1, right);
+  bytes_ += 64;  // node header estimate
+}
+
+void BPlusTree::InsertNonFull(Node* node, const Value& key, uint64_t row_id) {
+  while (!node->leaf) {
+    size_t i = 0;
+    while (i < node->keys.size() &&
+           CompositeCompare(node->keys[i].key, node->keys[i].row_id, key,
+                            row_id) <= 0) {
+      ++i;
+    }
+    Node* child = node->children[i];
+    const size_t fill = child->leaf ? child->entries.size() : child->keys.size();
+    if (fill >= kOrder) {
+      SplitChild(node, i);
+      if (CompositeCompare(node->keys[i].key, node->keys[i].row_id, key,
+                           row_id) <= 0) {
+        ++i;
+      }
+      child = node->children[i];
+    }
+    node = child;
+  }
+  auto it = std::lower_bound(
+      node->entries.begin(), node->entries.end(), key,
+      [row_id](const LeafEntry& e, const Value& k) {
+        return CompositeCompare(e.key, e.row_id, k, row_id) < 0;
+      });
+  node->entries.insert(it, LeafEntry{key, row_id});
+}
+
+void BPlusTree::Insert(const Value& key, uint64_t row_id) {
+  const size_t root_fill =
+      root_->leaf ? root_->entries.size() : root_->keys.size();
+  if (root_fill >= kOrder) {
+    Node* new_root = new Node(false);
+    new_root->children.push_back(root_);
+    root_ = new_root;
+    SplitChild(root_, 0);
+  }
+  InsertNonFull(root_, key, row_id);
+  ++size_;
+  bytes_ += key.ByteSize() + 8;
+}
+
+bool BPlusTree::Erase(const Value& key, uint64_t row_id) {
+  Node* leaf = FindLeaf(key, row_id, nullptr);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [row_id](const LeafEntry& e, const Value& k) {
+        return CompositeCompare(e.key, e.row_id, k, row_id) < 0;
+      });
+  if (it == leaf->entries.end() || it->key != key || it->row_id != row_id) {
+    return false;
+  }
+  bytes_ -= key.ByteSize() + 8;
+  leaf->entries.erase(it);
+  --size_;
+  // Underflowed leaves are tolerated (no merge/rebalance): deletions in this
+  // workload are a small fraction of inserts, and scans skip empty leaves.
+  return true;
+}
+
+size_t BPlusTree::ScanEqual(const Value& key,
+                            const std::function<bool(uint64_t)>& fn) const {
+  size_t visited = 0;
+  const Node* leaf = FindLeaf(key, 0, nullptr);
+  auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(), key,
+                             [](const LeafEntry& e, const Value& k) {
+                               return e.key.Compare(k) < 0;
+                             });
+  size_t idx = size_t(it - leaf->entries.begin());
+  while (leaf) {
+    for (; idx < leaf->entries.size(); ++idx) {
+      const int c = leaf->entries[idx].key.Compare(key);
+      if (c > 0) return visited;
+      if (c == 0) {
+        ++visited;
+        if (!fn(leaf->entries[idx].row_id)) return visited;
+      }
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+  return visited;
+}
+
+size_t BPlusTree::ScanRange(
+    const Value& lo, const Value* hi,
+    const std::function<bool(const Value&, uint64_t)>& fn) const {
+  size_t visited = 0;
+  const Node* leaf = FindLeaf(lo, 0, nullptr);
+  auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(), lo,
+                             [](const LeafEntry& e, const Value& k) {
+                               return e.key.Compare(k) < 0;
+                             });
+  size_t idx = size_t(it - leaf->entries.begin());
+  while (leaf) {
+    for (; idx < leaf->entries.size(); ++idx) {
+      const LeafEntry& e = leaf->entries[idx];
+      if (e.key.Compare(lo) < 0) continue;
+      if (hi && e.key.Compare(*hi) > 0) return visited;
+      ++visited;
+      if (!fn(e.key, e.row_id)) return visited;
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+  return visited;
+}
+
+}  // namespace gdpr::rel

@@ -1,0 +1,62 @@
+// In-memory B+tree multimap from Value to row ids. Leaves are chained for
+// range scans; duplicates are ordered by (key, row id) so Erase is a point
+// operation. This is the secondary-index structure whose write-path
+// maintenance cost Fig 3b measures and whose read-path speedups Fig 8 shows.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "relstore/value.h"
+
+namespace gdpr::rel {
+
+class BPlusTree {
+ public:
+  // Max entries per node before a split.
+  static constexpr size_t kOrder = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  void Insert(const Value& key, uint64_t row_id);
+  // Removes one (key, row_id) entry; returns whether it existed.
+  bool Erase(const Value& key, uint64_t row_id);
+
+  // Visits row ids for exactly `key`, ascending row id; fn returns false to
+  // stop. Returns visited count.
+  size_t ScanEqual(const Value& key,
+                   const std::function<bool(uint64_t)>& fn) const;
+
+  // Visits (key, row id) pairs with key in [lo, hi] ascending (null hi =
+  // unbounded); fn returns false to stop. Returns visited count.
+  size_t ScanRange(const Value& lo, const Value* hi,
+                   const std::function<bool(const Value&, uint64_t)>& fn) const;
+
+  size_t size() const { return size_; }
+  size_t ApproximateBytes() const { return bytes_; }
+
+ private:
+  struct Node;
+  struct LeafEntry {
+    Value key;
+    uint64_t row_id;
+  };
+
+  Node* FindLeaf(const Value& key, uint64_t row_id,
+                 std::vector<Node*>* path) const;
+  void SplitChild(Node* parent, size_t child_idx);
+  void InsertNonFull(Node* node, const Value& key, uint64_t row_id);
+
+  Node* root_;
+  size_t size_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace gdpr::rel

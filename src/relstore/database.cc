@@ -1,0 +1,416 @@
+#include "relstore/database.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace gdpr::rel {
+
+Database::Database(const RelOptions& options) : options_(options) {
+  clock_ = options_.clock ? options_.clock : RealClock::Default();
+  env_ = options_.env ? options_.env : Env::Posix();
+  if (options_.encrypt_at_rest) {
+    aead_ = std::make_unique<Aead>(options_.encryption_key);
+  }
+}
+
+Database::~Database() { Close().ok(); }
+
+Status Database::Open() {
+  if (open_) return Status::OK();
+  if (options_.wal_enabled) {
+    if (options_.wal_path.empty()) {
+      return Status::InvalidArgument("wal_enabled requires wal_path");
+    }
+    auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/false);
+    if (!f.ok()) return f.status();
+    wal_ = std::move(f.value());
+  }
+  if (options_.log_statements) {
+    if (options_.statement_log_path.empty()) {
+      return Status::InvalidArgument(
+          "log_statements requires statement_log_path");
+    }
+    auto f =
+        env_->NewWritableFile(options_.statement_log_path, /*truncate=*/false);
+    if (!f.ok()) return f.status();
+    stmt_log_ = std::move(f.value());
+  }
+  const int64_t now = RealClock::Default()->NowMicros();
+  wal_last_sync_ = stmt_last_sync_ = now;
+  open_ = true;
+  return Status::OK();
+}
+
+Status Database::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  Status s = Status::OK();
+  {
+    std::lock_guard<std::mutex> l(wal_mu_);
+    if (wal_) {
+      wal_->Flush().ok();
+      s = wal_->Close();
+      wal_.reset();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> l(stmt_mu_);
+    if (stmt_log_) {
+      stmt_log_->Flush().ok();
+      stmt_log_->Close().ok();
+      stmt_log_.reset();
+    }
+  }
+  return s;
+}
+
+StatusOr<Table*> Database::CreateTable(const std::string& name,
+                                       Schema schema) {
+  std::lock_guard<std::mutex> l(tables_mu_);
+  auto [it, inserted] =
+      tables_.emplace(name, std::make_unique<Table>(name, std::move(schema)));
+  if (!inserted) return Status::AlreadyExists("table " + name);
+  return it->second.get();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> l(tables_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column) {
+  Table* t = GetTable(table);
+  if (!t) return Status::NotFound("table " + table);
+  const int col = t->schema().FindColumn(column);
+  if (col < 0) return Status::NotFound("column " + column);
+  std::unique_lock<std::shared_mutex> l(t->mu_);
+  auto [it, inserted] =
+      t->indexes_.emplace(size_t(col), std::make_unique<BPlusTree>());
+  if (!inserted) return Status::AlreadyExists("index on " + column);
+  BPlusTree* tree = it->second.get();
+  for (size_t slot = 0; slot < t->slots_.size(); ++slot) {
+    if (!t->slots_[slot]) continue;
+    Row decoded = DecodeRow(t, *t->slots_[slot]);
+    tree->Insert(decoded[size_t(col)], uint64_t(slot) + 1);
+  }
+  return Status::OK();
+}
+
+Value Database::EncodeCell(const Value& v) {
+  if (!aead_ || v.type() != ValueType::kString) return v;
+  return Value(aead_->Seal(v.AsString(), seal_seq_.fetch_add(1)));
+}
+
+Row Database::DecodeRow(const Table* /*t*/, const Row& stored) const {
+  if (!aead_) return stored;
+  Row out;
+  out.reserve(stored.size());
+  for (const Value& v : stored) {
+    if (v.type() == ValueType::kString) {
+      auto plain = aead_->Open(v.AsString());
+      out.push_back(plain.ok() ? Value(plain.value()) : v);
+    } else {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Status Database::Insert(Table* t, Row row) {
+  if (!t) return Status::InvalidArgument("null table");
+  if (row.size() != t->schema().num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  Row stored;
+  stored.reserve(row.size());
+  size_t bytes = 0;
+  for (const Value& v : row) {
+    stored.push_back(EncodeCell(v));
+    bytes += stored.back().ByteSize();
+  }
+  // The WAL carries the stored (possibly sealed) cells: with encryption on,
+  // personal data must not reach disk in plaintext. Length-prefixed binary
+  // framing — sealed cells contain arbitrary bytes, so a text format would
+  // be unparseable on replay.
+  std::string wal_line;
+  if (wal_) {
+    wal_line.push_back('I');
+    PutLengthPrefixed(&wal_line, t->name());
+    PutVarint64(&wal_line, stored.size());
+    for (const Value& v : stored) {
+      wal_line.push_back(char(v.type()));
+      if (v.type() == ValueType::kInt64) {
+        PutFixed64(&wal_line, uint64_t(v.AsInt64()));
+      } else {
+        PutLengthPrefixed(&wal_line, v.AsString());
+      }
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> l(t->mu_);
+    t->slots_.emplace_back(std::move(stored));
+    const uint64_t row_id = uint64_t(t->slots_.size());
+    ++t->live_rows_;
+    t->row_bytes_ += bytes;
+    for (auto& [col, tree] : t->indexes_) {
+      tree->Insert(row[col], row_id);
+    }
+  }
+  if (!wal_line.empty()) {
+    Status s = WalAppend(wal_line);
+    if (!s.ok()) return s;
+  }
+  if (stmt_log_) return LogStatement("INSERT INTO " + t->name());
+  return Status::OK();
+}
+
+std::vector<uint64_t> Database::MatchRowIds(Table* t, const Predicate& pred,
+                                            size_t limit) const {
+  // Caller holds t->mu_ (shared or exclusive).
+  std::vector<uint64_t> ids;
+  auto want_more = [&] { return limit == 0 || ids.size() < limit; };
+  auto it = t->indexes_.find(pred.col);
+  if (it != t->indexes_.end() && pred.op != CompareOp::kNe) {
+    const BPlusTree* tree = it->second.get();
+    if (pred.op == CompareOp::kEq) {
+      tree->ScanEqual(pred.value, [&](uint64_t rid) {
+        ids.push_back(rid);
+        return want_more();
+      });
+    } else if (pred.op == CompareOp::kGe || pred.op == CompareOp::kGt) {
+      tree->ScanRange(pred.value, nullptr, [&](const Value& k, uint64_t rid) {
+        if (pred.op == CompareOp::kGt && k == pred.value) return true;
+        ids.push_back(rid);
+        return want_more();
+      });
+    } else {  // kLt / kLe: scan from -inf (null sorts first) up to the bound
+      tree->ScanRange(Value(), &pred.value, [&](const Value& k, uint64_t rid) {
+        if (pred.op == CompareOp::kLt && k == pred.value) return true;
+        ids.push_back(rid);
+        return want_more();
+      });
+    }
+    return ids;
+  }
+  // Sequential scan. Only the predicate column needs decoding.
+  for (size_t slot = 0; slot < t->slots_.size() && want_more(); ++slot) {
+    if (!t->slots_[slot]) continue;
+    const Value& cell = (*t->slots_[slot])[pred.col];
+    Value plain = cell;
+    if (aead_ && cell.type() == ValueType::kString) {
+      auto p = aead_->Open(cell.AsString());
+      if (p.ok()) plain = Value(p.value());
+    }
+    if (plain.Matches(pred.op, pred.value)) ids.push_back(uint64_t(slot) + 1);
+  }
+  return ids;
+}
+
+StatusOr<std::vector<Row>> Database::Select(Table* t, const Predicate& pred,
+                                            size_t limit) {
+  if (!t) return Status::InvalidArgument("null table");
+  std::vector<Row> out;
+  {
+    std::shared_lock<std::shared_mutex> l(t->mu_);
+    const std::vector<uint64_t> ids = MatchRowIds(t, pred, limit);
+    out.reserve(ids.size());
+    for (const uint64_t rid : ids) {
+      const auto& slot = t->slots_[rid - 1];
+      if (slot) out.push_back(DecodeRow(t, *slot));
+    }
+  }
+  if (stmt_log_) {
+    Status s = LogStatement("SELECT FROM " + t->name() + " WHERE " +
+                            pred.col_name + " " + pred.value.ToString());
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+StatusOr<std::vector<Row>> Database::SelectWhere(
+    Table* t, const std::function<bool(const Row&)>& pred, size_t limit) {
+  if (!t) return Status::InvalidArgument("null table");
+  std::vector<Row> out;
+  {
+    std::shared_lock<std::shared_mutex> l(t->mu_);
+    for (size_t slot = 0; slot < t->slots_.size(); ++slot) {
+      if (!t->slots_[slot]) continue;
+      Row decoded = DecodeRow(t, *t->slots_[slot]);
+      if (pred(decoded)) {
+        out.push_back(std::move(decoded));
+        if (limit != 0 && out.size() >= limit) break;
+      }
+    }
+  }
+  if (stmt_log_) {
+    Status s = LogStatement("SELECT FROM " + t->name() + " WHERE <scan>");
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+Status Database::ScanRows(Table* t,
+                          const std::function<bool(const Row&)>& fn) {
+  if (!t) return Status::InvalidArgument("null table");
+  {
+    std::shared_lock<std::shared_mutex> l(t->mu_);
+    for (size_t slot = 0; slot < t->slots_.size(); ++slot) {
+      if (!t->slots_[slot]) continue;
+      if (!fn(DecodeRow(t, *t->slots_[slot]))) break;
+    }
+  }
+  if (stmt_log_) {
+    return LogStatement("SELECT FROM " + t->name() + " WHERE <scan>");
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
+                                  const std::function<void(Row*)>& mutate) {
+  if (!t) return Status::InvalidArgument("null table");
+  size_t updated = 0;
+  {
+    std::unique_lock<std::shared_mutex> l(t->mu_);
+    const std::vector<uint64_t> ids = MatchRowIds(t, pred, 0);
+    for (const uint64_t rid : ids) {
+      auto& slot = t->slots_[rid - 1];
+      if (!slot) continue;
+      Row old_plain = DecodeRow(t, *slot);
+      Row new_plain = old_plain;
+      mutate(&new_plain);
+      if (new_plain.size() != old_plain.size()) {
+        return Status::InvalidArgument("update changed row arity");
+      }
+      // Index maintenance on changed columns only — the Fig 3b write cost.
+      for (auto& [col, tree] : t->indexes_) {
+        if (!(old_plain[col] == new_plain[col])) {
+          tree->Erase(old_plain[col], rid);
+          tree->Insert(new_plain[col], rid);
+        }
+      }
+      Row stored;
+      stored.reserve(new_plain.size());
+      size_t bytes = 0;
+      for (const Value& v : new_plain) {
+        stored.push_back(EncodeCell(v));
+        bytes += stored.back().ByteSize();
+      }
+      for (const Value& v : *slot) t->row_bytes_ -= v.ByteSize();
+      t->row_bytes_ += bytes;
+      *slot = std::move(stored);
+      ++updated;
+    }
+  }
+  if (wal_ && updated > 0) {
+    Status s = WalAppend(StringPrintf("U %s %zu rows\n", t->name().c_str(),
+                                      updated));
+    if (!s.ok()) return s;
+  }
+  if (stmt_log_) {
+    Status s = LogStatement("UPDATE " + t->name());
+    if (!s.ok()) return s;
+  }
+  return updated;
+}
+
+StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
+  if (!t) return Status::InvalidArgument("null table");
+  size_t deleted = 0;
+  {
+    std::unique_lock<std::shared_mutex> l(t->mu_);
+    const std::vector<uint64_t> ids = MatchRowIds(t, pred, 0);
+    for (const uint64_t rid : ids) {
+      auto& slot = t->slots_[rid - 1];
+      if (!slot) continue;
+      Row plain = DecodeRow(t, *slot);
+      for (auto& [col, tree] : t->indexes_) tree->Erase(plain[col], rid);
+      for (const Value& v : *slot) t->row_bytes_ -= v.ByteSize();
+      slot.reset();
+      --t->live_rows_;
+      ++deleted;
+    }
+  }
+  if (wal_ && deleted > 0) {
+    Status s = WalAppend(StringPrintf("D %s %zu rows\n", t->name().c_str(),
+                                      deleted));
+    if (!s.ok()) return s;
+  }
+  if (stmt_log_) {
+    Status s = LogStatement("DELETE FROM " + t->name());
+    if (!s.ok()) return s;
+  }
+  return deleted;
+}
+
+StatusOr<size_t> Database::DeleteWhere(
+    Table* t, const std::function<bool(const Row&)>& pred) {
+  if (!t) return Status::InvalidArgument("null table");
+  size_t deleted = 0;
+  {
+    std::unique_lock<std::shared_mutex> l(t->mu_);
+    for (size_t slot_idx = 0; slot_idx < t->slots_.size(); ++slot_idx) {
+      auto& slot = t->slots_[slot_idx];
+      if (!slot) continue;
+      Row plain = DecodeRow(t, *slot);
+      if (!pred(plain)) continue;
+      const uint64_t rid = uint64_t(slot_idx) + 1;
+      for (auto& [col, tree] : t->indexes_) tree->Erase(plain[col], rid);
+      for (const Value& v : *slot) t->row_bytes_ -= v.ByteSize();
+      slot.reset();
+      --t->live_rows_;
+      ++deleted;
+    }
+  }
+  if (stmt_log_) {
+    Status s = LogStatement("DELETE FROM " + t->name() + " WHERE <scan>");
+    if (!s.ok()) return s;
+  }
+  return deleted;
+}
+
+size_t Database::ApproximateBytes() const {
+  size_t total = 0;
+  std::lock_guard<std::mutex> l(const_cast<std::mutex&>(tables_mu_));
+  for (const auto& [name, t] : tables_) {
+    std::shared_lock<std::shared_mutex> tl(t->mu_);
+    total += t->row_bytes_ + t->slots_.size() * 16;
+    for (const auto& [col, tree] : t->indexes_) {
+      total += tree->ApproximateBytes();
+    }
+  }
+  return total;
+}
+
+Status Database::AppendWithPolicy(WritableFile* f, const std::string& text,
+                                  int64_t* last_sync) {
+  Status s = f->Append(text);
+  if (!s.ok()) return s;
+  if (options_.sync_policy == SyncPolicy::kAlways) return f->Sync();
+  if (options_.sync_policy == SyncPolicy::kEverySec) {
+    const int64_t now = RealClock::Default()->NowMicros();
+    if (now - *last_sync >= 1000000) {
+      *last_sync = now;
+      return f->Sync();
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::WalAppend(const std::string& text) {
+  std::lock_guard<std::mutex> l(wal_mu_);
+  if (!wal_) return Status::OK();
+  return AppendWithPolicy(wal_.get(), text, &wal_last_sync_);
+}
+
+Status Database::LogStatement(const std::string& text) {
+  if (!stmt_log_) return Status::OK();
+  std::lock_guard<std::mutex> l(stmt_mu_);
+  if (!stmt_log_) return Status::OK();
+  return AppendWithPolicy(stmt_log_.get(), text + "\n", &stmt_last_sync_);
+}
+
+}  // namespace gdpr::rel

@@ -1,0 +1,52 @@
+#include "relstore/ttl_daemon.h"
+
+#include <chrono>
+
+namespace gdpr::rel {
+
+TtlDaemon::TtlDaemon(Database* db, std::string table, std::string expiry_column,
+                     int64_t interval_micros)
+    : db_(db),
+      table_(std::move(table)),
+      column_(std::move(expiry_column)),
+      interval_micros_(interval_micros) {}
+
+TtlDaemon::~TtlDaemon() { Stop(); }
+
+size_t TtlDaemon::RunOnce() {
+  Table* t = db_->GetTable(table_);
+  if (!t) return 0;
+  const int col = t->schema().FindColumn(column_);
+  if (col < 0) return 0;
+  const int64_t now = db_->clock()->NowMicros();
+  auto deleted = db_->DeleteWhere(t, [col, now](const Row& row) {
+    const int64_t expiry = row[size_t(col)].AsInt64();
+    return expiry != 0 && expiry <= now;
+  });
+  return deleted.value_or(0);
+}
+
+void TtlDaemon::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> l(mu_);
+    while (running_.load()) {
+      cv_.wait_for(l, std::chrono::microseconds(interval_micros_));
+      if (!running_.load()) break;
+      l.unlock();
+      RunOnce();
+      l.lock();
+    }
+  });
+}
+
+void TtlDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace gdpr::rel

@@ -1,0 +1,42 @@
+// Background TTL reclamation for the relational store: a pg_cron-like
+// daemon that periodically deletes rows whose expiry column has passed.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "relstore/database.h"
+
+namespace gdpr::rel {
+
+class TtlDaemon {
+ public:
+  TtlDaemon(Database* db, std::string table, std::string expiry_column,
+            int64_t interval_micros);
+  ~TtlDaemon();
+
+  void Start();
+  void Stop();
+
+  // One reclamation pass; exposed so tests and simulated-clock benches can
+  // drive it without the background thread. Returns rows deleted.
+  size_t RunOnce();
+
+ private:
+  Database* db_;
+  std::string table_;
+  std::string column_;
+  int64_t interval_micros_;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace gdpr::rel

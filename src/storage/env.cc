@@ -1,0 +1,138 @@
+#include "storage/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace gdpr {
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(FILE* f) : f_(f) {}
+  ~PosixWritableFile() override {
+    if (f_) fclose(f_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (!f_) return Status::IOError("file closed");
+    if (fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::IOError(strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (f_ && fflush(f_) != 0) return Status::IOError(strerror(errno));
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (!f_) return Status::IOError("file closed");
+    if (fflush(f_) != 0) return Status::IOError(strerror(errno));
+    if (fdatasync(fileno(f_)) != 0) return Status::IOError(strerror(errno));
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (!f_) return Status::OK();
+    const int rc = fclose(f_);
+    f_ = nullptr;
+    return rc == 0 ? Status::OK() : Status::IOError(strerror(errno));
+  }
+
+ private:
+  FILE* f_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    FILE* f = fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (!f) return Status::IOError(path + ": " + strerror(errno));
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f));
+  }
+
+  StatusOr<std::string> ReadFileToString(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError(path + ": cannot open");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(path + ": " + strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return stat(path.c_str(), &st) == 0;
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv env;
+  return &env;
+}
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> l(env_->mu_);
+    env_->files_[path_].append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  MemEnv* env_;
+  std::string path_;
+};
+
+StatusOr<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (truncate) files_[path].clear();
+    else files_.try_emplace(path);
+  }
+  return std::unique_ptr<WritableFile>(new MemWritableFile(this, path));
+}
+
+StatusOr<std::string> MemEnv::ReadFileToString(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return it->second;
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  return files_.count(path) != 0;
+}
+
+}  // namespace gdpr

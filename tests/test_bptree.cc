@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "relstore/bptree.h"
+
+namespace gdpr::rel {
+namespace {
+
+TEST(BPlusTree, InsertLookup) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 1000; ++i) tree.Insert(Value(i), uint64_t(i) + 1);
+  EXPECT_EQ(tree.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    std::vector<uint64_t> hits;
+    tree.ScanEqual(Value(i), [&](uint64_t rid) {
+      hits.push_back(rid);
+      return true;
+    });
+    ASSERT_EQ(hits.size(), 1u) << i;
+    EXPECT_EQ(hits[0], uint64_t(i) + 1);
+  }
+  // Missing key
+  size_t n = tree.ScanEqual(Value(int64_t(5000)), [](uint64_t) { return true; });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(BPlusTree, Duplicates) {
+  BPlusTree tree;
+  for (uint64_t rid = 1; rid <= 300; ++rid) tree.Insert(Value("dup"), rid);
+  tree.Insert(Value("other"), 999);
+  std::vector<uint64_t> hits;
+  tree.ScanEqual(Value("dup"), [&](uint64_t rid) {
+    hits.push_back(rid);
+    return true;
+  });
+  ASSERT_EQ(hits.size(), 300u);
+  // Ascending row ids within a duplicate run.
+  for (size_t i = 1; i < hits.size(); ++i) EXPECT_LT(hits[i - 1], hits[i]);
+  EXPECT_TRUE(tree.Erase(Value("dup"), 150));
+  EXPECT_FALSE(tree.Erase(Value("dup"), 150));  // already gone
+  hits.clear();
+  tree.ScanEqual(Value("dup"), [&](uint64_t rid) {
+    hits.push_back(rid);
+    return true;
+  });
+  EXPECT_EQ(hits.size(), 299u);
+}
+
+TEST(BPlusTree, RangeScan) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 500; ++i) tree.Insert(Value(i * 2), uint64_t(i) + 1);
+  std::vector<int64_t> keys;
+  const Value lo(int64_t(100)), hi(int64_t(120));
+  tree.ScanRange(lo, &hi, [&](const Value& k, uint64_t) {
+    keys.push_back(k.AsInt64());
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 11u);  // 100,102,...,120
+  EXPECT_EQ(keys.front(), 100);
+  EXPECT_EQ(keys.back(), 120);
+  // Unbounded upper end.
+  size_t n = tree.ScanRange(Value(int64_t(990)), nullptr,
+                            [](const Value&, uint64_t) { return true; });
+  EXPECT_EQ(n, 5u);  // 990..998
+}
+
+TEST(BPlusTree, MatchesReferenceUnderChurn) {
+  BPlusTree tree;
+  std::multimap<int64_t, uint64_t> reference;
+  Random rng(42);
+  uint64_t next_rid = 1;
+  for (int step = 0; step < 20000; ++step) {
+    const int64_t key = int64_t(rng.Uniform(200));
+    if (rng.Uniform(3) != 0 || reference.empty()) {
+      tree.Insert(Value(key), next_rid);
+      reference.emplace(key, next_rid);
+      ++next_rid;
+    } else {
+      auto it = reference.lower_bound(key);
+      if (it == reference.end()) it = reference.begin();
+      EXPECT_TRUE(tree.Erase(Value(it->first), it->second));
+      reference.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  for (int64_t key = 0; key < 200; ++key) {
+    std::multiset<uint64_t> expect;
+    auto [lo, hi] = reference.equal_range(key);
+    for (auto it = lo; it != hi; ++it) expect.insert(it->second);
+    std::multiset<uint64_t> got;
+    tree.ScanEqual(Value(key), [&](uint64_t rid) {
+      got.insert(rid);
+      return true;
+    });
+    EXPECT_EQ(got, expect) << "key " << key;
+  }
+}
+
+TEST(BPlusTree, MixedTypesOrder) {
+  // Null < int64 < string per Value::Compare; a full-range scan sees them
+  // in that order.
+  BPlusTree tree;
+  tree.Insert(Value("zzz"), 1);
+  tree.Insert(Value(int64_t(5)), 2);
+  tree.Insert(Value(), 3);
+  std::vector<uint64_t> order;
+  tree.ScanRange(Value(), nullptr, [&](const Value&, uint64_t rid) {
+    order.push_back(rid);
+    return true;
+  });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+}  // namespace
+}  // namespace gdpr::rel

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.h"
+#include "common/distributions.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace gdpr {
+namespace {
+
+TEST(Status, RoundTrips) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status nf = Status::NotFound("key-1");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ(nf.ToString(), "NotFound: key-1");
+  EXPECT_TRUE(Status::PermissionDenied().IsPermissionDenied());
+}
+
+TEST(StatusOr, ValueAndError) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e(Status::NotFound("nope"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.value_or(7), 7);
+  EXPECT_TRUE(e.status().IsNotFound());
+}
+
+TEST(SimulatedClock, AdvancesDeterministically) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceSeconds(2);
+  EXPECT_EQ(clock.NowMicros(), 150 + 2000000);
+}
+
+TEST(RealClock, Monotonic) {
+  Clock* c = RealClock::Default();
+  const int64_t a = c->NowMicros();
+  const int64_t b = c->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(Random, DeterministicAndBounded) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Random r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(r.NextAsciiField(24).size(), 24u);
+}
+
+TEST(Zipfian, BoundedAndSkewed) {
+  ZipfianDistribution dist(1000);
+  Random rng(11);
+  std::vector<size_t> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = dist.Next(rng);
+    ASSERT_LT(v, 1000u);
+    counts[size_t(v)]++;
+  }
+  // Rank 0 must dominate the tail by a wide margin (theta = 0.99).
+  EXPECT_GT(counts[0], 20u * counts[500]);
+  // And the head should be a large share of all draws.
+  size_t head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[size_t(i)];
+  EXPECT_GT(head, 100000u / 4);
+}
+
+TEST(StringUtil, Formatting) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  const std::string big(500, 'a');
+  EXPECT_EQ(StringPrintf("%s", big.c_str()), big);
+  EXPECT_EQ(HumanMicros(17), "17 us");
+  EXPECT_EQ(HumanMicros(4200), "4.2 ms");
+  EXPECT_EQ(HumanMicros(1500000), "1.50 s");
+}
+
+TEST(StringUtil, JoinSplit) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, '|'), "a|b|c");
+  EXPECT_EQ(JoinStrings({}, '|'), "");
+  const auto parts = SplitString("a|b|c", '|');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_TRUE(SplitString("", '|').empty());
+}
+
+}  // namespace
+}  // namespace gdpr

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace gdpr {
+namespace {
+
+TEST(ChaCha20, Rfc8439Vector) {
+  // RFC 8439 §2.4.2 test vector.
+  uint8_t key[32];
+  for (int i = 0; i < 32; ++i) key[i] = uint8_t(i);
+  const uint8_t nonce[12] = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  ChaCha20 cipher(key, nonce, /*counter=*/1);
+  cipher.Process(reinterpret_cast<uint8_t*>(plaintext.data()),
+                 plaintext.size());
+  const uint8_t expected_head[16] = {0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68,
+                                     0xf9, 0x80, 0x41, 0xba, 0x07, 0x28,
+                                     0xdd, 0x0d, 0x69, 0x81};
+  EXPECT_EQ(memcmp(plaintext.data(), expected_head, 16), 0);
+  const uint8_t expected_tail[4] = {0x5e, 0x42, 0x87, 0x4d};
+  EXPECT_EQ(memcmp(plaintext.data() + plaintext.size() - 4, expected_tail, 4),
+            0);
+}
+
+TEST(ChaCha20, RoundTripAndStreaming) {
+  uint8_t key[32] = {9};
+  uint8_t nonce[12] = {3};
+  std::string msg(1000, '\0');
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = char(i * 31);
+  std::string enc = msg;
+  ChaCha20 a(key, nonce);
+  a.Process(reinterpret_cast<uint8_t*>(enc.data()), enc.size());
+  EXPECT_NE(enc, msg);
+  // Decrypt in uneven chunks: the stream position must carry over.
+  ChaCha20 b(key, nonce);
+  b.Process(reinterpret_cast<uint8_t*>(enc.data()), 13);
+  b.Process(reinterpret_cast<uint8_t*>(enc.data()) + 13, 700);
+  b.Process(reinterpret_cast<uint8_t*>(enc.data()) + 713, enc.size() - 713);
+  EXPECT_EQ(enc, msg);
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(Sha256::HexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::HexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::HexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string data(100000, 'q');
+  Sha256 h;
+  h.Update(data.substr(0, 1));
+  h.Update(data.substr(1, 62));
+  h.Update(data.substr(63));
+  EXPECT_EQ(Sha256::ToHex(h.Finish()), Sha256::HexDigest(data));
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto tag = HmacSha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(Sha256::ToHex(tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Aead, SealOpenRoundTrip) {
+  Aead aead("secret-key-material");
+  const std::string msg = "personal data: 123-456-7890";
+  const std::string sealed = aead.Seal(msg, 42);
+  EXPECT_EQ(sealed.size(), Aead::SealedSize(msg.size()));
+  auto opened = aead.Open(sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), msg);
+}
+
+TEST(Aead, DetectsTampering) {
+  Aead aead("key");
+  const std::string sealed = aead.Seal("payload-payload", 7);
+  for (const size_t flip : {size_t(0), sealed.size() / 2, sealed.size() - 1}) {
+    std::string bad = sealed;
+    bad[flip] = char(bad[flip] ^ 1);
+    EXPECT_FALSE(aead.Open(bad).ok()) << "flip at " << flip;
+  }
+  EXPECT_FALSE(aead.Open("short").ok());
+}
+
+TEST(Aead, DistinctSequencesDistinctCiphertexts) {
+  Aead aead("key");
+  EXPECT_NE(aead.Seal("same message", 1), aead.Seal("same message", 2));
+  // Wrong key fails to open.
+  Aead other("other-key");
+  EXPECT_FALSE(other.Open(aead.Seal("msg", 3)).ok());
+}
+
+}  // namespace
+}  // namespace gdpr

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "gdpr/kv_backend.h"
+#include "gdpr/portability.h"
+#include "gdpr/rel_backend.h"
+#include "gdpr/retention.h"
+
+namespace gdpr {
+namespace {
+
+GdprRecord MakeRec(const std::string& key, const std::string& user) {
+  GdprRecord rec;
+  rec.key = key;
+  rec.data = "payload \"quoted\" \n line-" + key;  // exercises escaping
+  rec.metadata.user = user;
+  rec.metadata.purposes = {"recommendations"};
+  rec.metadata.origin = "first-party";
+  return rec;
+}
+
+TEST(Portability, ExportImportRoundTripAcrossBackends) {
+  KvGdprStore source((KvGdprOptions()));
+  ASSERT_TRUE(source.Open().ok());
+  for (int i = 0; i < 9; ++i) {
+    source
+        .CreateRecord(Actor::Controller(),
+                      MakeRec(StringPrintf("k%02d", i),
+                              i % 3 ? "neo" : "trinity"))
+        .ok();
+  }
+  auto bundle = ExportUserData(&source, Actor::Customer("neo"), "neo");
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle.value().record_count, 6u);
+  EXPECT_EQ(bundle.value().sha256_hex.size(), 64u);
+
+  RelGdprOptions ro;
+  ro.compliance.metadata_indexing = true;
+  RelGdprStore dest(ro);
+  ASSERT_TRUE(dest.Open().ok());
+  auto imported =
+      ImportUserData(&dest, Actor::Controller("service-b"), bundle.value());
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported.value(), 6u);
+  auto rec = dest.ReadDataByKey(Actor::Customer("neo"), "k01");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().data, "payload \"quoted\" \n line-k01");
+  EXPECT_EQ(rec.value().metadata.purposes,
+            std::vector<std::string>{"recommendations"});
+}
+
+TEST(Portability, TamperedBundleRejected) {
+  KvGdprStore source((KvGdprOptions()));
+  ASSERT_TRUE(source.Open().ok());
+  source.CreateRecord(Actor::Controller(), MakeRec("k1", "neo")).ok();
+  auto bundle = ExportUserData(&source, Actor::Customer("neo"), "neo");
+  ASSERT_TRUE(bundle.ok());
+  PortabilityExport corrupted = bundle.value();
+  corrupted.json[10] = char(corrupted.json[10] ^ 1);
+  KvGdprStore dest((KvGdprOptions()));
+  ASSERT_TRUE(dest.Open().ok());
+  auto rejected = ImportUserData(&dest, Actor::Controller(), corrupted);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(dest.RecordCount(), 0u);
+}
+
+TEST(Portability, StrangerCannotExport) {
+  KvGdprStore source((KvGdprOptions()));
+  ASSERT_TRUE(source.Open().ok());
+  source.CreateRecord(Actor::Controller(), MakeRec("k1", "neo")).ok();
+  auto denied = ExportUserData(&source, Actor::Customer("smith"), "neo");
+  EXPECT_TRUE(denied.status().IsPermissionDenied());
+}
+
+TEST(Retention, AuditFindsAndFixesViolations) {
+  SimulatedClock clock(1000000);
+  KvGdprOptions o;
+  o.clock = &clock;
+  KvGdprStore store(o);
+  ASSERT_TRUE(store.Open().ok());
+  // Three records under a ruled purpose: no TTL (violation), TTL too long
+  // (violation), TTL within policy (fine); plus one unruled record.
+  const int64_t day = 86400ll * 1000000;
+  GdprRecord no_ttl = MakeRec("no-ttl", "neo");
+  GdprRecord long_ttl = MakeRec("long-ttl", "neo");
+  long_ttl.metadata.expiry_micros = clock.NowMicros() + 400 * day;
+  GdprRecord good = MakeRec("good", "neo");
+  good.metadata.expiry_micros = clock.NowMicros() + 10 * day;
+  GdprRecord unruled = MakeRec("unruled", "neo");
+  unruled.metadata.purposes = {"security"};
+  for (const auto& r : {no_ttl, long_ttl, good, unruled}) {
+    ASSERT_TRUE(store.CreateRecord(Actor::Controller(), r).ok());
+  }
+
+  RetentionPolicy policy;
+  policy.SetRule("recommendations", 90 * day);
+  auto violations = AuditRetention(&store, Actor::Controller(), policy,
+                                   clock.NowMicros());
+  ASSERT_TRUE(violations.ok());
+  ASSERT_EQ(violations.value().size(), 2u);
+  for (const auto& v : violations.value()) {
+    MetadataUpdate fix;
+    fix.expiry_micros = v.required_micros;
+    ASSERT_TRUE(
+        store.UpdateMetadataByKey(Actor::Controller(), v.key, fix).ok());
+  }
+  auto after = AuditRetention(&store, Actor::Controller(), policy,
+                              clock.NowMicros());
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().empty());
+}
+
+}  // namespace
+}  // namespace gdpr
