@@ -1,0 +1,385 @@
+#include "cluster/cluster_store.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "gdpr/ops.h"
+
+namespace gdpr::cluster {
+
+ClusterGdprStore::ClusterGdprStore(const ClusterOptions& options)
+    : options_(options),
+      slot_map_(options.slots, uint32_t(options.nodes ? options.nodes : 1)) {
+  clock_ = options_.clock ? options_.clock : RealClock::Default();
+  const size_t n = options_.nodes ? options_.nodes : 1;
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    KvGdprOptions o;
+    o.clock = clock_;
+    o.compliance = options_.compliance;
+    o.kv = options_.kv;
+    if (!o.kv.aof_path.empty()) {
+      o.kv.aof_path += StringPrintf(".node%zu", i);
+    }
+    nodes_.push_back(std::make_unique<KvGdprStore>(o));
+  }
+  slot_fence_.reserve(slot_map_.num_slots());
+  for (uint32_t s = 0; s < slot_map_.num_slots(); ++s) {
+    slot_fence_.push_back(std::make_unique<std::shared_mutex>());
+  }
+  const size_t workers =
+      options_.fanout_threads ? options_.fanout_threads : n;
+  pool_ = std::make_unique<ScatterGather>(workers);
+}
+
+ClusterGdprStore::~ClusterGdprStore() { Close().ok(); }
+
+Status ClusterGdprStore::Open() {
+  for (auto& node : nodes_) {
+    Status s = node->Open();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ClusterGdprStore::Close() {
+  Status out = Status::OK();
+  for (auto& node : nodes_) {
+    Status s = node->Close();
+    if (!s.ok()) out = s;
+  }
+  return out;
+}
+
+void ClusterGdprStore::AuditCluster(const Actor& actor, const char* op,
+                                    const std::string& key, bool allowed) {
+  if (!options_.compliance.audit_enabled) return;
+  AuditEntry e;
+  e.timestamp_micros = clock_->NowMicros();
+  e.actor_id = actor.id;
+  e.role = actor.role;
+  e.op = op;
+  e.key = key;
+  e.allowed = allowed;
+  audit_log_.Append(std::move(e));
+}
+
+template <typename T>
+std::vector<T> ClusterGdprStore::FanOut(
+    const std::function<T(KvGdprStore*)>& fn) {
+  std::vector<std::optional<T>> staged(nodes_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    tasks.push_back([this, &staged, &fn, i] {
+      staged[i].emplace(fn(nodes_[i].get()));
+    });
+  }
+  pool_->Run(std::move(tasks));
+  std::vector<T> out;
+  out.reserve(staged.size());
+  for (auto& s : staged) out.push_back(std::move(*s));
+  return out;
+}
+
+std::vector<GdprRecord> ClusterGdprStore::MergeRecords(
+    std::vector<StatusOr<std::vector<GdprRecord>>> parts, Status* status) {
+  *status = Status::OK();
+  std::vector<GdprRecord> out;
+  std::unordered_set<std::string> seen;
+  for (auto& part : parts) {
+    if (!part.ok()) {
+      // Access decisions depend only on (actor, flags), so every node
+      // returns the same verdict; surface the first denial.
+      *status = part.status();
+      return {};
+    }
+    for (auto& rec : part.value()) {
+      if (seen.insert(rec.key).second) out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+// ---- point ops: route by key slot -----------------------------------------
+
+Status ClusterGdprStore::CreateRecord(const Actor& actor,
+                                      const GdprRecord& record) {
+  const uint32_t slot = SlotOf(record.key);
+  std::shared_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+  return OwnerNode(slot)->CreateRecord(actor, record);
+}
+
+StatusOr<GdprRecord> ClusterGdprStore::ReadDataByKey(const Actor& actor,
+                                                     const std::string& key) {
+  const uint32_t slot = SlotOf(key);
+  std::shared_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+  return OwnerNode(slot)->ReadDataByKey(actor, key);
+}
+
+StatusOr<GdprMetadata> ClusterGdprStore::ReadMetadataByKey(
+    const Actor& actor, const std::string& key) {
+  const uint32_t slot = SlotOf(key);
+  std::shared_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+  return OwnerNode(slot)->ReadMetadataByKey(actor, key);
+}
+
+Status ClusterGdprStore::UpdateMetadataByKey(const Actor& actor,
+                                             const std::string& key,
+                                             const MetadataUpdate& update) {
+  const uint32_t slot = SlotOf(key);
+  std::shared_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+  return OwnerNode(slot)->UpdateMetadataByKey(actor, key, update);
+}
+
+Status ClusterGdprStore::UpdateDataByKey(const Actor& actor,
+                                         const std::string& key,
+                                         const std::string& data) {
+  const uint32_t slot = SlotOf(key);
+  std::shared_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+  return OwnerNode(slot)->UpdateDataByKey(actor, key, data);
+}
+
+Status ClusterGdprStore::DeleteRecordByKey(const Actor& actor,
+                                           const std::string& key) {
+  const uint32_t slot = SlotOf(key);
+  std::shared_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+  return OwnerNode(slot)->DeleteRecordByKey(actor, key);
+}
+
+StatusOr<bool> ClusterGdprStore::VerifyDeletion(const Actor& actor,
+                                                const std::string& key) {
+  const uint32_t slot = SlotOf(key);
+  std::shared_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+  return OwnerNode(slot)->VerifyDeletion(actor, key);
+}
+
+// ---- metadata queries and broadcasts: scatter-gather ----------------------
+
+StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataByUser(
+    const Actor& actor, const std::string& user) {
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  Status status;
+  auto merged = MergeRecords(
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        return node->ReadMetadataByUser(actor, user);
+      }),
+      &status);
+  if (!status.ok()) return status;
+  return merged;
+}
+
+StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataByPurpose(
+    const Actor& actor, const std::string& purpose) {
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  Status status;
+  auto merged = MergeRecords(
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        return node->ReadMetadataByPurpose(actor, purpose);
+      }),
+      &status);
+  if (!status.ok()) return status;
+  return merged;
+}
+
+StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataBySharing(
+    const Actor& actor, const std::string& third_party) {
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  Status status;
+  auto merged = MergeRecords(
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        return node->ReadMetadataBySharing(actor, third_party);
+      }),
+      &status);
+  if (!status.ok()) return status;
+  return merged;
+}
+
+StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadRecordsByUser(
+    const Actor& actor, const std::string& user) {
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  Status status;
+  auto merged = MergeRecords(
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        return node->ReadRecordsByUser(actor, user);
+      }),
+      &status);
+  if (!status.ok()) return status;
+  return merged;
+}
+
+StatusOr<size_t> ClusterGdprStore::DeleteRecordsByUser(
+    const Actor& actor, const std::string& user) {
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  auto parts = FanOut<StatusOr<size_t>>([&](KvGdprStore* node) {
+    return node->DeleteRecordsByUser(actor, user);
+  });
+  size_t erased = 0;
+  for (const auto& part : parts) {
+    if (!part.ok()) return part.status();
+    erased += part.value();
+  }
+  return erased;
+}
+
+StatusOr<size_t> ClusterGdprStore::DeleteExpiredRecords(const Actor& actor) {
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  auto parts = FanOut<StatusOr<size_t>>([&](KvGdprStore* node) {
+    return node->DeleteExpiredRecords(actor);
+  });
+  size_t reclaimed = 0;
+  for (const auto& part : parts) {
+    if (!part.ok()) return part.status();
+    reclaimed += part.value();
+  }
+  return reclaimed;
+}
+
+StatusOr<std::vector<AuditEntry>> ClusterGdprStore::GetSystemLogs(
+    const Actor& actor, int64_t from_micros, int64_t to_micros) {
+  auto parts =
+      FanOut<StatusOr<std::vector<AuditEntry>>>([&](KvGdprStore* node) {
+        return node->GetSystemLogs(actor, from_micros, to_micros);
+      });
+  std::vector<AuditEntry> merged;
+  for (const auto& part : parts) {
+    if (!part.ok()) return part.status();
+    merged.insert(merged.end(), part.value().begin(), part.value().end());
+  }
+  const std::vector<AuditEntry> router =
+      audit_log_.Query(from_micros, to_micros);
+  merged.insert(merged.end(), router.begin(), router.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const AuditEntry& a, const AuditEntry& b) {
+                     return a.timestamp_micros < b.timestamp_micros;
+                   });
+  return merged;
+}
+
+StatusOr<Features> ClusterGdprStore::GetFeatures(const Actor& actor) {
+  AuditCluster(actor, ops::kGetFeatures, "", true);
+  return BuildFeatures(
+      "cluster-memkv", options_.compliance,
+      /*has_secondary_indexes=*/options_.compliance.metadata_indexing);
+}
+
+Status ClusterGdprStore::ScanRecords(
+    const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  bool stop = false;
+  for (auto& node : nodes_) {
+    Status s = node->ScanRecords(actor, [&](const GdprRecord& rec) {
+      if (!fn(rec)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    });
+    if (!s.ok()) return s;
+    if (stop) break;
+  }
+  return Status::OK();
+}
+
+size_t ClusterGdprStore::RecordCount() {
+  size_t total = 0;
+  for (auto& node : nodes_) total += node->RecordCount();
+  return total;
+}
+
+size_t ClusterGdprStore::TotalBytes() {
+  size_t total = audit_log_.ApproximateBytes();
+  for (auto& node : nodes_) total += node->TotalBytes();
+  return total;
+}
+
+Status ClusterGdprStore::Reset() {
+  std::unique_lock<std::shared_mutex> no_migration(migrate_mu_);
+  for (auto& node : nodes_) {
+    Status s = node->Reset();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// ---- slot migration -------------------------------------------------------
+
+Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
+                                   uint32_t dst_node) {
+  if (dst_node >= nodes_.size()) {
+    return Status::InvalidArgument("no such node");
+  }
+  std::unique_lock<std::shared_mutex> migration(migrate_mu_);
+  size_t moved_records = 0;
+  size_t moved_slots = 0;
+  for (const uint32_t slot : slots) {
+    if (slot >= slot_map_.num_slots()) {
+      return Status::InvalidArgument("no such slot");
+    }
+    // Write-fence this one slot: point ops to it wait, point ops on every
+    // other slot proceed (fan-outs are already held off by migrate_mu_).
+    std::unique_lock<std::shared_mutex> fence(*slot_fence_[slot]);
+    const uint32_t src_idx = slot_map_.OwnerOf(slot);
+    if (src_idx == dst_node) continue;
+    KvGdprStore* src = nodes_[src_idx].get();
+    KvGdprStore* dst = nodes_[dst_node].get();
+    const auto in_slot = [this, slot](const std::string& key) {
+      return slot_map_.SlotOf(key) == slot;
+    };
+    const std::vector<GdprRecord> records = src->ExportRecords(in_slot);
+    for (size_t i = 0; i < records.size(); ++i) {
+      Status s = dst->ImportRecord(records[i]);
+      if (!s.ok()) {
+        // Roll the partial copy back; ownership never flipped.
+        for (size_t j = 0; j < i; ++j) dst->EvictRecord(records[j].key).ok();
+        AuditCluster(Actor::Controller(), ops::kMoveSlots,
+                     StringPrintf("slot %u -> node %u", slot, dst_node),
+                     false);
+        return s;
+      }
+    }
+    for (const std::string& key : src->ExportTombstones(in_slot)) {
+      dst->AdoptTombstone(key);
+    }
+    slot_map_.SetOwner(slot, dst_node);
+    for (const GdprRecord& rec : records) src->EvictRecord(rec.key).ok();
+    moved_records += records.size();
+    ++moved_slots;
+  }
+  AuditCluster(Actor::Controller(), ops::kMoveSlots,
+               StringPrintf("%zu slots (%zu records) -> node %u", moved_slots,
+                            moved_records, dst_node),
+               true);
+  return Status::OK();
+}
+
+Status ClusterGdprStore::Rebalance() {
+  // Group the plan by destination so each MoveSlots call audits once.
+  std::vector<std::vector<uint32_t>> by_dst(nodes_.size());
+  for (const auto& [slot, dst] : slot_map_.PlanRebalance()) {
+    by_dst[dst].push_back(slot);
+  }
+  for (uint32_t dst = 0; dst < by_dst.size(); ++dst) {
+    if (by_dst[dst].empty()) continue;
+    Status s = MoveSlots(by_dst[dst], dst);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+bool ClusterGdprStore::VerifyAuditChains(std::vector<bool>* per_node) {
+  bool all_ok = true;
+  if (per_node) per_node->clear();
+  for (auto& node : nodes_) {
+    const bool ok = node->audit_log()->VerifyChain();
+    if (per_node) per_node->push_back(ok);
+    all_ok = all_ok && ok;
+  }
+  const bool router_ok = audit_log_.VerifyChain();
+  if (per_node) per_node->push_back(router_ok);
+  return all_ok && router_ok;
+}
+
+}  // namespace gdpr::cluster

@@ -1,0 +1,149 @@
+// ClusterGdprStore: a slot-partitioned multi-node GDPR store. N homogeneous
+// nodes, each a full KvGdprStore (records, secondary indexes, TTL heap,
+// tombstones, and its own hash-chained audit log), fronted by a router that
+// implements gdpr::GdprStore — every bench, example, and test that takes a
+// GdprStore runs unmodified against a cluster.
+//
+//   * Point ops (create / read / update / delete / verify by key) route by
+//     key slot under a per-slot read fence.
+//   * Metadata queries (by user / purpose / sharing) and GDPR broadcasts
+//     (user erasure, TTL sweep, log pulls) scatter over a worker pool and
+//     gather: per-node results are merged and deduped by key.
+//   * MoveSlots rebalances live: one slot at a time is write-fenced, its
+//     records (and erasure tombstones) are copied to the destination node,
+//     ownership flips, and the source copy is evicted. Point ops on other
+//     slots never block; fan-out ops briefly serialize against the
+//     migration (a fan-out racing the copy could otherwise miss a record
+//     that has left the source but not yet landed on the destination).
+//
+// This is the seam later distribution work (real transport, replication)
+// plugs into: a node handle today is an in-process store, tomorrow a stub.
+
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/scatter_gather.h"
+#include "cluster/slot_map.h"
+#include "gdpr/kv_backend.h"
+#include "gdpr/store.h"
+
+namespace gdpr::cluster {
+
+struct ClusterOptions {
+  size_t nodes = 4;
+  uint32_t slots = SlotMap::kDefaultSlots;
+  // Fan-out worker threads; 0 = one per node (each node's sub-query gets a
+  // thread, the practical ceiling for scatter-gather speedup).
+  size_t fanout_threads = 0;
+  Clock* clock = nullptr;
+  ComplianceFlags compliance;
+  // Per-node inner KV template. When an AOF path is set, node i appends
+  // ".node<i>" so logs do not collide.
+  kv::Options kv;
+};
+
+class ClusterGdprStore : public GdprStore {
+ public:
+  explicit ClusterGdprStore(const ClusterOptions& options);
+  ~ClusterGdprStore() override;
+
+  Status Open() override;
+  Status Close() override;
+
+  Status CreateRecord(const Actor& actor, const GdprRecord& record) override;
+  StatusOr<GdprRecord> ReadDataByKey(const Actor& actor,
+                                     const std::string& key) override;
+  StatusOr<GdprMetadata> ReadMetadataByKey(const Actor& actor,
+                                           const std::string& key) override;
+  StatusOr<std::vector<GdprRecord>> ReadMetadataByUser(
+      const Actor& actor, const std::string& user) override;
+  StatusOr<std::vector<GdprRecord>> ReadMetadataByPurpose(
+      const Actor& actor, const std::string& purpose) override;
+  StatusOr<std::vector<GdprRecord>> ReadMetadataBySharing(
+      const Actor& actor, const std::string& third_party) override;
+  StatusOr<std::vector<GdprRecord>> ReadRecordsByUser(
+      const Actor& actor, const std::string& user) override;
+  Status UpdateMetadataByKey(const Actor& actor, const std::string& key,
+                             const MetadataUpdate& update) override;
+  Status UpdateDataByKey(const Actor& actor, const std::string& key,
+                         const std::string& data) override;
+  Status DeleteRecordByKey(const Actor& actor, const std::string& key) override;
+  StatusOr<size_t> DeleteRecordsByUser(const Actor& actor,
+                                       const std::string& user) override;
+  StatusOr<size_t> DeleteExpiredRecords(const Actor& actor) override;
+  StatusOr<bool> VerifyDeletion(const Actor& actor,
+                                const std::string& key) override;
+  StatusOr<std::vector<AuditEntry>> GetSystemLogs(const Actor& actor,
+                                                  int64_t from_micros,
+                                                  int64_t to_micros) override;
+  StatusOr<Features> GetFeatures(const Actor& actor) override;
+  Status ScanRecords(
+      const Actor& actor,
+      const std::function<bool(const GdprRecord&)>& fn) override;
+
+  size_t RecordCount() override;
+  size_t TotalBytes() override;
+  Status Reset() override;
+
+  // --- Cluster surface -----------------------------------------------------
+
+  size_t node_count() const { return nodes_.size(); }
+  KvGdprStore* node(size_t i) { return nodes_[i].get(); }
+  const SlotMap& slot_map() const { return slot_map_; }
+
+  // Moves the given slots to dst_node, live: point traffic to other slots
+  // is untouched; traffic to a moving slot waits only for that slot's copy.
+  Status MoveSlots(const std::vector<uint32_t>& slots, uint32_t dst_node);
+  // Levels slot ownership across all nodes (see SlotMap::PlanRebalance).
+  Status Rebalance();
+
+  // Verifies every node's audit chain plus the router's own (MOVE-SLOTS
+  // trail). per_node, when given, receives nodes_ order then the router.
+  bool VerifyAuditChains(std::vector<bool>* per_node = nullptr);
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  uint32_t SlotOf(const std::string& key) const {
+    return slot_map_.SlotOf(key);
+  }
+  KvGdprStore* OwnerNode(uint32_t slot) {
+    return nodes_[slot_map_.OwnerOf(slot)].get();
+  }
+
+  void AuditCluster(const Actor& actor, const char* op, const std::string& key,
+                    bool allowed);
+
+  // Runs fn(node) for every node on the fan-out pool; results land in a
+  // node-indexed vector so the merge is deterministic.
+  template <typename T>
+  std::vector<T> FanOut(const std::function<T(KvGdprStore*)>& fn);
+
+  // Concatenates per-node record vectors, dropping duplicate keys —
+  // defense in depth should a key ever live on two nodes at once.
+  static std::vector<GdprRecord> MergeRecords(
+      std::vector<StatusOr<std::vector<GdprRecord>>> parts, Status* status);
+
+  ClusterOptions options_;
+  SlotMap slot_map_;
+  std::vector<std::unique_ptr<KvGdprStore>> nodes_;
+  std::unique_ptr<ScatterGather> pool_;
+
+  // Per-slot write fence: point ops hold it shared, MoveSlots holds the
+  // moving slot's exclusively. shared_mutex is non-movable, hence the
+  // unique_ptr indirection.
+  std::vector<std::unique_ptr<std::shared_mutex>> slot_fence_;
+
+  // Fan-out ops (metadata queries, user erasure, TTL sweep, scans, reset)
+  // run node-local without slot fences; they hold this shared against
+  // MoveSlots (exclusive) so a record can't be erased on the source after
+  // its copy reached the destination, and a scatter-gather read can't miss
+  // a record that is mid-flight between nodes.
+  std::shared_mutex migrate_mu_;
+};
+
+}  // namespace gdpr::cluster

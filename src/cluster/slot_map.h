@@ -1,0 +1,53 @@
+// Hash-slot partitioning (the Redis-Cluster scheme): every key hashes into
+// one of a fixed number of slots, and each slot is owned by exactly one
+// node. Keys never move between slots — rebalancing reassigns whole slots —
+// so routing stays a pure function of (key, ownership table) and a live
+// migration only has to fence one slot at a time.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdpr::cluster {
+
+class SlotMap {
+ public:
+  static constexpr uint32_t kDefaultSlots = 1024;
+
+  // Slots are dealt to nodes in contiguous runs, Redis-Cluster style:
+  // node i starts with slots [i*S/N, (i+1)*S/N).
+  SlotMap(uint32_t num_slots, uint32_t num_nodes);
+
+  uint32_t num_slots() const { return num_slots_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  // FNV-1a over the whole key, reduced to a slot.
+  uint32_t SlotOf(const std::string& key) const;
+
+  uint32_t OwnerOf(uint32_t slot) const {
+    return owner_[slot].load(std::memory_order_acquire);
+  }
+  // Callers serialize per-slot (the router holds the slot's write fence).
+  void SetOwner(uint32_t slot, uint32_t node) {
+    owner_[slot].store(node, std::memory_order_release);
+  }
+
+  std::vector<uint32_t> SlotsOwnedBy(uint32_t node) const;
+  std::vector<size_t> SlotsPerNode() const;
+
+  // Minimal set of (slot, destination) moves that levels ownership to
+  // within one slot across all nodes. Pure planning — nothing moves.
+  std::vector<std::pair<uint32_t, uint32_t>> PlanRebalance() const;
+
+ private:
+  uint32_t num_slots_;
+  uint32_t num_nodes_;
+  std::unique_ptr<std::atomic<uint32_t>[]> owner_;
+};
+
+}  // namespace gdpr::cluster

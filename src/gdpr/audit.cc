@@ -7,18 +7,32 @@
 
 namespace gdpr {
 
-AuditLog::AuditLog() : head_("audit-chain-genesis") {}
+AuditLog::AuditLog(size_t seal_interval)
+    : seal_interval_(seal_interval ? seal_interval : 1),
+      head_("audit-chain-genesis") {}
 
-std::string AuditLog::ChainStep(const std::string& prev, const AuditEntry& e) {
+std::string AuditLog::GroupStep(const std::string& prev,
+                                const AuditEntry* begin, size_t n) {
   std::string buf = prev;
-  PutFixed64(&buf, uint64_t(e.timestamp_micros));
-  PutLengthPrefixed(&buf, e.actor_id);
-  buf.push_back(char(e.role));
-  PutLengthPrefixed(&buf, e.op);
-  PutLengthPrefixed(&buf, e.key);
-  buf.push_back(e.allowed ? 1 : 0);
+  for (size_t i = 0; i < n; ++i) {
+    const AuditEntry& e = begin[i];
+    PutFixed64(&buf, uint64_t(e.timestamp_micros));
+    PutLengthPrefixed(&buf, e.actor_id);
+    buf.push_back(char(e.role));
+    PutLengthPrefixed(&buf, e.op);
+    PutLengthPrefixed(&buf, e.key);
+    buf.push_back(e.allowed ? 1 : 0);
+  }
   const Sha256::Digest d = Sha256::Hash(buf);
   return std::string(reinterpret_cast<const char*>(d.data()), d.size());
+}
+
+void AuditLog::SealPendingLocked() const {
+  if (pending_ == 0) return;
+  head_ = GroupStep(head_, entries_.data() + (entries_.size() - pending_),
+                    pending_);
+  group_sizes_.push_back(uint32_t(pending_));
+  pending_ = 0;
 }
 
 void AuditLog::Append(AuditEntry entry) {
@@ -28,9 +42,9 @@ void AuditLog::Append(AuditEntry entry) {
       entry.timestamp_micros < entries_.back().timestamp_micros) {
     entry.timestamp_micros = entries_.back().timestamp_micros;
   }
-  head_ = ChainStep(head_, entry);
   bytes_ += 32 + entry.actor_id.size() + entry.op.size() + entry.key.size() + 10;
   entries_.push_back(std::move(entry));
+  if (++pending_ >= seal_interval_) SealPendingLocked();
 }
 
 size_t AuditLog::size() const {
@@ -40,6 +54,8 @@ size_t AuditLog::size() const {
 
 std::vector<AuditEntry> AuditLog::Query(int64_t from_micros,
                                         int64_t to_micros) const {
+  // No seal needed: the unsealed tail is already in entries_, and sealing
+  // here would make group boundaries depend on query timing.
   std::lock_guard<std::mutex> l(mu_);
   auto lo = std::lower_bound(entries_.begin(), entries_.end(), from_micros,
                              [](const AuditEntry& e, int64_t t) {
@@ -54,14 +70,21 @@ std::vector<AuditEntry> AuditLog::Query(int64_t from_micros,
 
 std::string AuditLog::head_hash() const {
   std::lock_guard<std::mutex> l(mu_);
+  SealPendingLocked();
   return head_;
 }
 
 bool AuditLog::VerifyChain() const {
   std::lock_guard<std::mutex> l(mu_);
+  SealPendingLocked();
   std::string h = "audit-chain-genesis";
-  for (const AuditEntry& e : entries_) h = ChainStep(h, e);
-  return h == head_;
+  size_t at = 0;
+  for (const uint32_t n : group_sizes_) {
+    if (at + n > entries_.size()) return false;
+    h = GroupStep(h, entries_.data() + at, n);
+    at += n;
+  }
+  return at == entries_.size() && h == head_;
 }
 
 size_t AuditLog::ApproximateBytes() const {
@@ -72,6 +95,8 @@ size_t AuditLog::ApproximateBytes() const {
 void AuditLog::Clear() {
   std::lock_guard<std::mutex> l(mu_);
   entries_.clear();
+  group_sizes_.clear();
+  pending_ = 0;
   head_ = "audit-chain-genesis";
   bytes_ = 0;
 }

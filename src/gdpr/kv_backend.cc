@@ -3,30 +3,9 @@
 #include <algorithm>
 
 #include "gdpr/access.h"
+#include "gdpr/ops.h"
 
 namespace gdpr {
-
-namespace {
-
-// Op name constants; these strings are the audit vocabulary (regulators
-// match on them, see examples/regulator_audit).
-constexpr const char kOpCreate[] = "CREATE-RECORD";
-constexpr const char kOpReadData[] = "READ-DATA-BY-KEY";
-constexpr const char kOpReadMeta[] = "READ-METADATA-BY-KEY";
-constexpr const char kOpReadMetaUser[] = "READ-METADATA-BY-USER";
-constexpr const char kOpReadMetaPurpose[] = "READ-METADATA-BY-PUR";
-constexpr const char kOpReadMetaSharing[] = "READ-METADATA-BY-SHR";
-constexpr const char kOpReadRecordsUser[] = "READ-RECORDS-BY-USER";
-constexpr const char kOpUpdateMeta[] = "UPDATE-METADATA-BY-KEY";
-constexpr const char kOpUpdateData[] = "UPDATE-DATA-BY-KEY";
-constexpr const char kOpDeleteKey[] = "DELETE-RECORD-BY-KEY";
-constexpr const char kOpDeleteUser[] = "DELETE-RECORDS-BY-USER";
-constexpr const char kOpDeleteExpired[] = "DELETE-EXPIRED-RECORDS";
-constexpr const char kOpVerifyDeletion[] = "VERIFY-DELETION";
-constexpr const char kOpGetLogs[] = "GET-SYSTEM-LOGS";
-constexpr const char kOpGetFeatures[] = "GET-SYSTEM-FEATURES";
-
-}  // namespace
 
 KvGdprStore::KvGdprStore(const KvGdprOptions& options) : options_(options) {
   clock_ = options_.clock ? options_.clock : RealClock::Default();
@@ -143,13 +122,13 @@ void KvGdprStore::EraseRecord(const GdprRecord& record) {
 
 Status KvGdprStore::CreateRecord(const Actor& actor,
                                  const GdprRecord& record) {
-  Status access = CheckAccess(actor, kOpCreate, nullptr);
+  Status access = CheckAccess(actor, ops::kCreate, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer &&
       record.metadata.user != actor.id) {
     access = Status::PermissionDenied("customer can only create own records");
   }
   if (!access.ok()) {
-    Audit(actor, kOpCreate, record.key, false);
+    Audit(actor, ops::kCreate, record.key, false);
     return access;
   }
   GdprRecord rec = record;
@@ -168,7 +147,7 @@ Status KvGdprStore::CreateRecord(const Actor& actor,
     std::lock_guard<std::mutex> l(tomb_mu_);
     tombstones_.erase(rec.key);
   }
-  Audit(actor, kOpCreate, rec.key, s.ok());
+  Audit(actor, ops::kCreate, rec.key, s.ok());
   return s;
 }
 
@@ -176,11 +155,11 @@ StatusOr<GdprRecord> KvGdprStore::ReadDataByKey(const Actor& actor,
                                                 const std::string& key) {
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpReadData, key, false);
+    Audit(actor, ops::kReadData, key, false);
     return rec.status();
   }
-  Status access = CheckAccess(actor, kOpReadData, &rec.value());
-  Audit(actor, kOpReadData, key, access.ok());
+  Status access = CheckAccess(actor, ops::kReadData, &rec.value());
+  Audit(actor, ops::kReadData, key, access.ok());
   if (!access.ok()) return access;
   return rec;
 }
@@ -189,11 +168,11 @@ StatusOr<GdprMetadata> KvGdprStore::ReadMetadataByKey(const Actor& actor,
                                                       const std::string& key) {
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpReadMeta, key, false);
+    Audit(actor, ops::kReadMeta, key, false);
     return rec.status();
   }
-  Status access = CheckAccess(actor, kOpReadMeta, &rec.value());
-  Audit(actor, kOpReadMeta, key, access.ok());
+  Status access = CheckAccess(actor, ops::kReadMeta, &rec.value());
+  Audit(actor, ops::kReadMeta, key, access.ok());
   if (!access.ok()) return access;
   return rec.value().metadata;
 }
@@ -236,11 +215,11 @@ std::vector<GdprRecord> KvGdprStore::CollectByScan(
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
     const Actor& actor, const std::string& user) {
-  Status access = CheckAccess(actor, kOpReadMetaUser, nullptr);
+  Status access = CheckAccess(actor, ops::kReadMetaUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
     access = Status::PermissionDenied("customer can only query own records");
   }
-  Audit(actor, kOpReadMetaUser, user, access.ok());
+  Audit(actor, ops::kReadMetaUser, user, access.ok());
   if (!access.ok()) return access;
   std::vector<GdprRecord> recs =
       indexing() ? CollectByIndex(by_user_, user)
@@ -253,12 +232,12 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByPurpose(
     const Actor& actor, const std::string& purpose) {
-  Status access = CheckAccess(actor, kOpReadMetaPurpose, nullptr);
+  Status access = CheckAccess(actor, ops::kReadMetaPurpose, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor &&
       actor.purpose != purpose) {
     access = Status::PermissionDenied("processor purpose mismatch");
   }
-  Audit(actor, kOpReadMetaPurpose, purpose, access.ok());
+  Audit(actor, ops::kReadMetaPurpose, purpose, access.ok());
   if (!access.ok()) return access;
   std::vector<GdprRecord> recs =
       indexing() ? CollectByIndex(by_purpose_, purpose)
@@ -271,8 +250,8 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByPurpose(
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataBySharing(
     const Actor& actor, const std::string& third_party) {
-  Status access = CheckAccess(actor, kOpReadMetaSharing, nullptr);
-  Audit(actor, kOpReadMetaSharing, third_party, access.ok());
+  Status access = CheckAccess(actor, ops::kReadMetaSharing, nullptr);
+  Audit(actor, ops::kReadMetaSharing, third_party, access.ok());
   if (!access.ok()) return access;
   std::vector<GdprRecord> recs =
       indexing() ? CollectByIndex(by_sharing_, third_party)
@@ -285,7 +264,7 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataBySharing(
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadRecordsByUser(
     const Actor& actor, const std::string& user) {
-  Status access = CheckAccess(actor, kOpReadRecordsUser, nullptr);
+  Status access = CheckAccess(actor, ops::kReadRecordsUser, nullptr);
   if (access.ok()) {
     const bool owner =
         actor.role == Actor::Role::kCustomer && actor.id == user;
@@ -294,7 +273,7 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadRecordsByUser(
                                         "or the data subject");
     }
   }
-  Audit(actor, kOpReadRecordsUser, user, access.ok());
+  Audit(actor, ops::kReadRecordsUser, user, access.ok());
   if (!access.ok()) return access;
   return indexing() ? CollectByIndex(by_user_, user)
                     : CollectByScan([&](const GdprRecord& r) {
@@ -308,12 +287,12 @@ Status KvGdprStore::UpdateMetadataByKey(const Actor& actor,
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpUpdateMeta, key, false);
+    Audit(actor, ops::kUpdateMeta, key, false);
     return rec.status();
   }
-  Status access = CheckAccess(actor, kOpUpdateMeta, &rec.value());
+  Status access = CheckAccess(actor, ops::kUpdateMeta, &rec.value());
   if (!access.ok()) {
-    Audit(actor, kOpUpdateMeta, key, false);
+    Audit(actor, ops::kUpdateMeta, key, false);
     return access;
   }
   GdprRecord updated = rec.value();
@@ -326,7 +305,7 @@ Status KvGdprStore::UpdateMetadataByKey(const Actor& actor,
   if (indexing()) IndexRemove(rec.value());
   Status s = PutRecord(updated);
   if (s.ok() && indexing()) IndexAdd(updated);
-  Audit(actor, kOpUpdateMeta, key, s.ok());
+  Audit(actor, ops::kUpdateMeta, key, s.ok());
   return s;
 }
 
@@ -335,18 +314,18 @@ Status KvGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpUpdateData, key, false);
+    Audit(actor, ops::kUpdateData, key, false);
     return rec.status();
   }
-  Status access = CheckAccess(actor, kOpUpdateData, &rec.value());
+  Status access = CheckAccess(actor, ops::kUpdateData, &rec.value());
   if (!access.ok()) {
-    Audit(actor, kOpUpdateData, key, false);
+    Audit(actor, ops::kUpdateData, key, false);
     return access;
   }
   GdprRecord updated = rec.value();
   updated.data = data;
   Status s = PutRecord(updated);  // metadata unchanged: no index touch
-  Audit(actor, kOpUpdateData, key, s.ok());
+  Audit(actor, ops::kUpdateData, key, s.ok());
   return s;
 }
 
@@ -357,27 +336,27 @@ Status KvGdprStore::DeleteRecordByKey(const Actor& actor,
   // records too — their blobs and index entries must go now, with evidence.
   auto rec = GetRecordRaw(key);
   if (!rec.ok()) {
-    Audit(actor, kOpDeleteKey, key, false);
+    Audit(actor, ops::kDeleteKey, key, false);
     return rec.status();
   }
-  Status access = CheckAccess(actor, kOpDeleteKey, &rec.value());
+  Status access = CheckAccess(actor, ops::kDeleteKey, &rec.value());
   if (!access.ok()) {
-    Audit(actor, kOpDeleteKey, key, false);
+    Audit(actor, ops::kDeleteKey, key, false);
     return access;
   }
   EraseRecord(rec.value());
-  Audit(actor, kOpDeleteKey, key, true);
+  Audit(actor, ops::kDeleteKey, key, true);
   return Status::OK();
 }
 
 StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
                                                   const std::string& user) {
-  Status access = CheckAccess(actor, kOpDeleteUser, nullptr);
+  Status access = CheckAccess(actor, ops::kDeleteUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
     access = Status::PermissionDenied("customer can only erase own records");
   }
   if (!access.ok()) {
-    Audit(actor, kOpDeleteUser, user, false);
+    Audit(actor, ops::kDeleteUser, user, false);
     return access;
   }
   auto match_user = [&](const GdprRecord& r) {
@@ -396,14 +375,14 @@ StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
     EraseRecord(cur.value());
     ++erased;
   }
-  Audit(actor, kOpDeleteUser, user, true);
+  Audit(actor, ops::kDeleteUser, user, true);
   return erased;
 }
 
 StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
-  Status access = CheckAccess(actor, kOpDeleteExpired, nullptr);
+  Status access = CheckAccess(actor, ops::kDeleteExpired, nullptr);
   if (!access.ok()) {
-    Audit(actor, kOpDeleteExpired, "", false);
+    Audit(actor, ops::kDeleteExpired, "", false);
     return access;
   }
   const int64_t now = NowMicros();
@@ -452,14 +431,14 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
       ++reclaimed;
     }
   }
-  Audit(actor, kOpDeleteExpired, "", true);
+  Audit(actor, ops::kDeleteExpired, "", true);
   return reclaimed;
 }
 
 StatusOr<bool> KvGdprStore::VerifyDeletion(const Actor& actor,
                                            const std::string& key) {
-  Status access = CheckAccess(actor, kOpVerifyDeletion, nullptr);
-  Audit(actor, kOpVerifyDeletion, key, access.ok());
+  Status access = CheckAccess(actor, ops::kVerifyDeletion, nullptr);
+  Audit(actor, ops::kVerifyDeletion, key, access.ok());
   if (!access.ok()) return access;
   const bool gone = !db_->Get(key).ok();
   bool evidenced = false;
@@ -472,39 +451,90 @@ StatusOr<bool> KvGdprStore::VerifyDeletion(const Actor& actor,
 
 StatusOr<std::vector<AuditEntry>> KvGdprStore::GetSystemLogs(
     const Actor& actor, int64_t from_micros, int64_t to_micros) {
-  Status access = CheckAccess(actor, kOpGetLogs, nullptr);
+  Status access = CheckAccess(actor, ops::kGetLogs, nullptr);
   if (access.ok() && actor.role != Actor::Role::kRegulator &&
       actor.role != Actor::Role::kController) {
     access = Status::PermissionDenied("logs limited to regulator/controller");
   }
   if (!access.ok()) {
-    Audit(actor, kOpGetLogs, "", false);
+    Audit(actor, ops::kGetLogs, "", false);
     return access;
   }
   std::vector<AuditEntry> out = audit_log_.Query(from_micros, to_micros);
-  Audit(actor, kOpGetLogs, "", true);
+  Audit(actor, ops::kGetLogs, "", true);
   return out;
 }
 
 StatusOr<Features> KvGdprStore::GetFeatures(const Actor& actor) {
-  Audit(actor, kOpGetFeatures, "", true);
+  Audit(actor, ops::kGetFeatures, "", true);
   return BuildFeatures("memkv", options_.compliance,
                        /*has_secondary_indexes=*/indexing());
 }
 
 Status KvGdprStore::ScanRecords(
     const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
-  Status access = CheckAccess(actor, "SCAN-RECORDS", nullptr);
+  Status access = CheckAccess(actor, ops::kScanRecords, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor) {
     access = Status::PermissionDenied("processor cannot scan");
   }
-  Audit(actor, "SCAN-RECORDS", "", access.ok());
+  Audit(actor, ops::kScanRecords, "", access.ok());
   if (!access.ok()) return access;
   db_->Scan([&](const std::string&, const std::string& value) {
     auto rec = GdprRecord::Parse(value);
     if (!rec.ok()) return true;
     return fn(rec.value());
   });
+  return Status::OK();
+}
+
+std::vector<GdprRecord> KvGdprStore::ExportRecords(
+    const std::function<bool(const std::string&)>& key_pred) {
+  std::vector<GdprRecord> out;
+  db_->Scan([&](const std::string& key, const std::string& value) {
+    if (key_pred(key)) {
+      auto rec = GdprRecord::Parse(value);
+      if (rec.ok()) out.push_back(std::move(rec.value()));
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<std::string> KvGdprStore::ExportTombstones(
+    const std::function<bool(const std::string&)>& key_pred) {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  for (const auto& key : tombstones_) {
+    if (key_pred(key)) out.push_back(key);
+  }
+  return out;
+}
+
+Status KvGdprStore::ImportRecord(const GdprRecord& record) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(record.key));
+  if (indexing()) {
+    auto old = GetRecordRaw(record.key);
+    if (old.ok()) IndexRemove(old.value());
+  }
+  Status s = PutRecord(record);
+  if (!s.ok()) return s;
+  if (indexing()) IndexAdd(record);
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  tombstones_.erase(record.key);
+  return Status::OK();
+}
+
+void KvGdprStore::AdoptTombstone(const std::string& key) {
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  tombstones_.insert(key);
+}
+
+Status KvGdprStore::EvictRecord(const std::string& key) {
+  std::lock_guard<std::mutex> key_lock(KeyMutex(key));
+  auto rec = GetRecordRaw(key);
+  if (!rec.ok()) return rec.status();
+  db_->Delete(key).ok();
+  if (indexing()) IndexRemove(rec.value());
   return Status::OK();
 }
 

@@ -79,6 +79,28 @@ class KvGdprStore : public GdprStore {
   kv::MemKV* raw() { return db_.get(); }
   const KvGdprOptions& options() const { return options_; }
 
+  // --- Slot-migration support (src/cluster/) -------------------------------
+  // These move state between homogeneous nodes without generating GDPR audit
+  // entries: a rebalance is infrastructure, not processing, and is audited
+  // once at the cluster layer instead. Key-set selection is by predicate so
+  // the router can say "every key hashing into slot S".
+
+  // Snapshot of records (expired included) whose key matches key_pred.
+  std::vector<GdprRecord> ExportRecords(
+      const std::function<bool(const std::string&)>& key_pred);
+  // Erasure tombstones whose key matches key_pred (so VerifyDeletion stays
+  // truthful after the slot moves).
+  std::vector<std::string> ExportTombstones(
+      const std::function<bool(const std::string&)>& key_pred);
+  // Adopts a record copied in from a departing node: blob + secondary
+  // indexes, clearing any stale tombstone for the key.
+  Status ImportRecord(const GdprRecord& record);
+  // Adopts erasure evidence for a key this node now owns.
+  void AdoptTombstone(const std::string& key);
+  // Removes a record that was copied out — indexes dropped, no tombstone
+  // (the record still exists, just elsewhere).
+  Status EvictRecord(const std::string& key);
+
  private:
   struct TtlItem {
     int64_t expiry_micros;

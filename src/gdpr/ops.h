@@ -1,0 +1,31 @@
+// The GDPR operation vocabulary (Table 2), shared by every Store
+// implementation — KV backend, relational backend, and the cluster router —
+// so audit entries and access-control decisions use one set of names and
+// cannot drift between layers. Regulator tooling (examples/regulator_audit)
+// matches on these strings.
+
+#pragma once
+
+namespace gdpr::ops {
+
+constexpr const char kCreate[] = "CREATE-RECORD";
+constexpr const char kReadData[] = "READ-DATA-BY-KEY";
+constexpr const char kReadMeta[] = "READ-METADATA-BY-KEY";
+constexpr const char kReadMetaUser[] = "READ-METADATA-BY-USER";
+constexpr const char kReadMetaPurpose[] = "READ-METADATA-BY-PUR";
+constexpr const char kReadMetaSharing[] = "READ-METADATA-BY-SHR";
+constexpr const char kReadRecordsUser[] = "READ-RECORDS-BY-USER";
+constexpr const char kUpdateMeta[] = "UPDATE-METADATA-BY-KEY";
+constexpr const char kUpdateData[] = "UPDATE-DATA-BY-KEY";
+constexpr const char kDeleteKey[] = "DELETE-RECORD-BY-KEY";
+constexpr const char kDeleteUser[] = "DELETE-RECORDS-BY-USER";
+constexpr const char kDeleteExpired[] = "DELETE-EXPIRED-RECORDS";
+constexpr const char kVerifyDeletion[] = "VERIFY-DELETION";
+constexpr const char kGetLogs[] = "GET-SYSTEM-LOGS";
+constexpr const char kGetFeatures[] = "GET-SYSTEM-FEATURES";
+constexpr const char kScanRecords[] = "SCAN-RECORDS";
+
+// Cluster-level operations, audited on the router's own chain.
+constexpr const char kMoveSlots[] = "MOVE-SLOTS";
+
+}  // namespace gdpr::ops

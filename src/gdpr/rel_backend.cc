@@ -4,26 +4,12 @@
 
 #include "common/string_util.h"
 #include "gdpr/access.h"
+#include "gdpr/ops.h"
 
 namespace gdpr {
 
 namespace {
 
-constexpr const char kOpCreate[] = "CREATE-RECORD";
-constexpr const char kOpReadData[] = "READ-DATA-BY-KEY";
-constexpr const char kOpReadMeta[] = "READ-METADATA-BY-KEY";
-constexpr const char kOpReadMetaUser[] = "READ-METADATA-BY-USER";
-constexpr const char kOpReadMetaPurpose[] = "READ-METADATA-BY-PUR";
-constexpr const char kOpReadMetaSharing[] = "READ-METADATA-BY-SHR";
-constexpr const char kOpReadRecordsUser[] = "READ-RECORDS-BY-USER";
-constexpr const char kOpUpdateMeta[] = "UPDATE-METADATA-BY-KEY";
-constexpr const char kOpUpdateData[] = "UPDATE-DATA-BY-KEY";
-constexpr const char kOpDeleteKey[] = "DELETE-RECORD-BY-KEY";
-constexpr const char kOpDeleteUser[] = "DELETE-RECORDS-BY-USER";
-constexpr const char kOpDeleteExpired[] = "DELETE-EXPIRED-RECORDS";
-constexpr const char kOpVerifyDeletion[] = "VERIFY-DELETION";
-constexpr const char kOpGetLogs[] = "GET-SYSTEM-LOGS";
-constexpr const char kOpGetFeatures[] = "GET-SYSTEM-FEATURES";
 
 // Column order in gdpr_records.
 enum Col : size_t {
@@ -231,20 +217,20 @@ std::vector<GdprRecord> RelGdprStore::CollectByJoinTable(
 Status RelGdprStore::CreateRecord(const Actor& actor,
                                   const GdprRecord& record) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpCreate, nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kCreate, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer &&
       record.metadata.user != actor.id) {
     access = Status::PermissionDenied("customer can only create own records");
   }
   if (!access.ok()) {
-    Audit(actor, kOpCreate, record.key, false);
+    Audit(actor, ops::kCreate, record.key, false);
     return access;
   }
   GdprRecord rec = record;
   if (rec.metadata.created_micros == 0) rec.metadata.created_micros = NowMicros();
   std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
   Status s = PutRecord(rec);
-  Audit(actor, kOpCreate, rec.key, s.ok());
+  Audit(actor, ops::kCreate, rec.key, s.ok());
   return s;
 }
 
@@ -252,12 +238,12 @@ StatusOr<GdprRecord> RelGdprStore::ReadDataByKey(const Actor& actor,
                                                  const std::string& key) {
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpReadData, key, false);
+    Audit(actor, ops::kReadData, key, false);
     return rec.status();
   }
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpReadData, &rec.value());
-  Audit(actor, kOpReadData, key, access.ok());
+      CheckGdprAccess(options_.compliance, actor, ops::kReadData, &rec.value());
+  Audit(actor, ops::kReadData, key, access.ok());
   if (!access.ok()) return access;
   return rec;
 }
@@ -266,12 +252,12 @@ StatusOr<GdprMetadata> RelGdprStore::ReadMetadataByKey(const Actor& actor,
                                                        const std::string& key) {
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpReadMeta, key, false);
+    Audit(actor, ops::kReadMeta, key, false);
     return rec.status();
   }
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpReadMeta, &rec.value());
-  Audit(actor, kOpReadMeta, key, access.ok());
+      CheckGdprAccess(options_.compliance, actor, ops::kReadMeta, &rec.value());
+  Audit(actor, ops::kReadMeta, key, access.ok());
   if (!access.ok()) return access;
   return rec.value().metadata;
 }
@@ -279,11 +265,11 @@ StatusOr<GdprMetadata> RelGdprStore::ReadMetadataByKey(const Actor& actor,
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByUser(
     const Actor& actor, const std::string& user) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpReadMetaUser, nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kReadMetaUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
     access = Status::PermissionDenied("customer can only query own records");
   }
-  Audit(actor, kOpReadMetaUser, user, access.ok());
+  Audit(actor, ops::kReadMetaUser, user, access.ok());
   if (!access.ok()) return access;
   std::vector<GdprRecord> recs;
   if (indexing()) {
@@ -307,12 +293,12 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByUser(
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByPurpose(
     const Actor& actor, const std::string& purpose) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpReadMetaPurpose, nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kReadMetaPurpose, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor &&
       actor.purpose != purpose) {
     access = Status::PermissionDenied("processor purpose mismatch");
   }
-  Audit(actor, kOpReadMetaPurpose, purpose, access.ok());
+  Audit(actor, ops::kReadMetaPurpose, purpose, access.ok());
   if (!access.ok()) return access;
   std::vector<GdprRecord> recs =
       indexing() ? CollectByJoinTable(purpose_idx_, purpose)
@@ -326,8 +312,8 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByPurpose(
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataBySharing(
     const Actor& actor, const std::string& third_party) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpReadMetaSharing, nullptr);
-  Audit(actor, kOpReadMetaSharing, third_party, access.ok());
+      CheckGdprAccess(options_.compliance, actor, ops::kReadMetaSharing, nullptr);
+  Audit(actor, ops::kReadMetaSharing, third_party, access.ok());
   if (!access.ok()) return access;
   std::vector<GdprRecord> recs =
       indexing() ? CollectByJoinTable(sharing_idx_, third_party)
@@ -341,7 +327,7 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataBySharing(
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadRecordsByUser(
     const Actor& actor, const std::string& user) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpReadRecordsUser, nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kReadRecordsUser, nullptr);
   if (access.ok()) {
     const bool owner =
         actor.role == Actor::Role::kCustomer && actor.id == user;
@@ -350,7 +336,7 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadRecordsByUser(
           "full records limited to controller or the data subject");
     }
   }
-  Audit(actor, kOpReadRecordsUser, user, access.ok());
+  Audit(actor, ops::kReadRecordsUser, user, access.ok());
   if (!access.ok()) return access;
   if (indexing()) {
     const int64_t now = NowMicros();
@@ -375,13 +361,13 @@ Status RelGdprStore::UpdateMetadataByKey(const Actor& actor,
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpUpdateMeta, key, false);
+    Audit(actor, ops::kUpdateMeta, key, false);
     return rec.status();
   }
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpUpdateMeta, &rec.value());
+      CheckGdprAccess(options_.compliance, actor, ops::kUpdateMeta, &rec.value());
   if (!access.ok()) {
-    Audit(actor, kOpUpdateMeta, key, false);
+    Audit(actor, ops::kUpdateMeta, key, false);
     return access;
   }
   GdprRecord updated = rec.value();
@@ -392,7 +378,7 @@ Status RelGdprStore::UpdateMetadataByKey(const Actor& actor,
   if (update.origin) updated.metadata.origin = *update.origin;
   if (update.expiry_micros) updated.metadata.expiry_micros = *update.expiry_micros;
   Status s = PutRecord(updated);
-  Audit(actor, kOpUpdateMeta, key, s.ok());
+  Audit(actor, ops::kUpdateMeta, key, s.ok());
   return s;
 }
 
@@ -401,19 +387,19 @@ Status RelGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpUpdateData, key, false);
+    Audit(actor, ops::kUpdateData, key, false);
     return rec.status();
   }
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpUpdateData, &rec.value());
+      CheckGdprAccess(options_.compliance, actor, ops::kUpdateData, &rec.value());
   if (!access.ok()) {
-    Audit(actor, kOpUpdateData, key, false);
+    Audit(actor, ops::kUpdateData, key, false);
     return access;
   }
   GdprRecord updated = rec.value();
   updated.data = data;
   Status s = PutRecord(updated);
-  Audit(actor, kOpUpdateData, key, s.ok());
+  Audit(actor, ops::kUpdateData, key, s.ok());
   return s;
 }
 
@@ -422,29 +408,29 @@ Status RelGdprStore::DeleteRecordByKey(const Actor& actor,
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
-    Audit(actor, kOpDeleteKey, key, false);
+    Audit(actor, ops::kDeleteKey, key, false);
     return rec.status();
   }
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpDeleteKey, &rec.value());
+      CheckGdprAccess(options_.compliance, actor, ops::kDeleteKey, &rec.value());
   if (!access.ok()) {
-    Audit(actor, kOpDeleteKey, key, false);
+    Audit(actor, ops::kDeleteKey, key, false);
     return access;
   }
   RemoveKey(key, /*tombstone=*/true);
-  Audit(actor, kOpDeleteKey, key, true);
+  Audit(actor, ops::kDeleteKey, key, true);
   return Status::OK();
 }
 
 StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
                                                    const std::string& user) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpDeleteUser, nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kDeleteUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
     access = Status::PermissionDenied("customer can only erase own records");
   }
   if (!access.ok()) {
-    Audit(actor, kOpDeleteUser, user, false);
+    Audit(actor, ops::kDeleteUser, user, false);
     return access;
   }
   std::vector<std::string> keys;
@@ -478,15 +464,15 @@ StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
     }
     erased += RemoveKey(k, /*tombstone=*/true);
   }
-  Audit(actor, kOpDeleteUser, user, true);
+  Audit(actor, ops::kDeleteUser, user, true);
   return erased;
 }
 
 StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpDeleteExpired, nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kDeleteExpired, nullptr);
   if (!access.ok()) {
-    Audit(actor, kOpDeleteExpired, "", false);
+    Audit(actor, ops::kDeleteExpired, "", false);
     return access;
   }
   const int64_t now = NowMicros();
@@ -521,15 +507,15 @@ StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
     }
     erased += RemoveKey(k, /*tombstone=*/true);
   }
-  Audit(actor, kOpDeleteExpired, "", true);
+  Audit(actor, ops::kDeleteExpired, "", true);
   return erased;
 }
 
 StatusOr<bool> RelGdprStore::VerifyDeletion(const Actor& actor,
                                             const std::string& key) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpVerifyDeletion, nullptr);
-  Audit(actor, kOpVerifyDeletion, key, access.ok());
+      CheckGdprAccess(options_.compliance, actor, ops::kVerifyDeletion, nullptr);
+  Audit(actor, ops::kVerifyDeletion, key, access.ok());
   if (!access.ok()) return access;
   auto rows = db_->Select(records_,
                           rel::Compare(kKey, rel::CompareOp::kEq,
@@ -547,22 +533,22 @@ StatusOr<bool> RelGdprStore::VerifyDeletion(const Actor& actor,
 StatusOr<std::vector<AuditEntry>> RelGdprStore::GetSystemLogs(
     const Actor& actor, int64_t from_micros, int64_t to_micros) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, kOpGetLogs, nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kGetLogs, nullptr);
   if (access.ok() && actor.role != Actor::Role::kRegulator &&
       actor.role != Actor::Role::kController) {
     access = Status::PermissionDenied("logs limited to regulator/controller");
   }
   if (!access.ok()) {
-    Audit(actor, kOpGetLogs, "", false);
+    Audit(actor, ops::kGetLogs, "", false);
     return access;
   }
   std::vector<AuditEntry> out = audit_log_.Query(from_micros, to_micros);
-  Audit(actor, kOpGetLogs, "", true);
+  Audit(actor, ops::kGetLogs, "", true);
   return out;
 }
 
 StatusOr<Features> RelGdprStore::GetFeatures(const Actor& actor) {
-  Audit(actor, kOpGetFeatures, "", true);
+  Audit(actor, ops::kGetFeatures, "", true);
   return BuildFeatures("reldb", options_.compliance,
                        /*has_secondary_indexes=*/true);
 }
@@ -570,11 +556,11 @@ StatusOr<Features> RelGdprStore::GetFeatures(const Actor& actor) {
 Status RelGdprStore::ScanRecords(
     const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
   Status access =
-      CheckGdprAccess(options_.compliance, actor, "SCAN-RECORDS", nullptr);
+      CheckGdprAccess(options_.compliance, actor, ops::kScanRecords, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor) {
     access = Status::PermissionDenied("processor cannot scan");
   }
-  Audit(actor, "SCAN-RECORDS", "", access.ok());
+  Audit(actor, ops::kScanRecords, "", access.ok());
   if (!access.ok()) return access;
   const int64_t now = NowMicros();
   db_->ScanRows(records_, [&](const rel::Row& row) {

@@ -23,9 +23,33 @@ Status Database::Open() {
     if (options_.wal_path.empty()) {
       return Status::InvalidArgument("wal_enabled requires wal_path");
     }
-    auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/false);
-    if (!f.ok()) return f.status();
-    wal_ = std::move(f.value());
+    if (env_->FileExists(options_.wal_path)) {
+      auto contents = env_->ReadFileToString(options_.wal_path);
+      if (!contents.ok()) return contents.status();
+      const size_t valid = ParseWal(contents.value());
+      // Every sealed cell of the previous incarnation occupies >= 1 WAL
+      // byte, so starting past the log length can never reuse an AEAD
+      // (key, seq) pair.
+      seal_seq_.store(contents.value().size() + 1);
+      if (replay_stats_.truncated_tail) {
+        // Rewrite the log to the recovered prefix: appending after torn
+        // bytes would make every later record unreachable on the next
+        // replay (the parser stops at the first bad frame).
+        auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
+        if (!f.ok()) return f.status();
+        wal_ = std::move(f.value());
+        if (valid > 0) {
+          Status s = wal_->Append(contents.value().substr(0, valid));
+          if (s.ok()) s = wal_->Sync();
+          if (!s.ok()) return s;
+        }
+      }
+    }
+    if (!wal_) {
+      auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/false);
+      if (!f.ok()) return f.status();
+      wal_ = std::move(f.value());
+    }
   }
   if (options_.log_statements) {
     if (options_.statement_log_path.empty()) {
@@ -66,12 +90,106 @@ Status Database::Close() {
   return s;
 }
 
+size_t Database::ParseWal(std::string_view contents) {
+  std::string_view in = contents;
+  while (!in.empty()) {
+    const std::string_view mark = in;  // rewind point for a torn tail
+    const char op = in.front();
+    in.remove_prefix(1);
+    std::string_view table;
+    WalOp wal_op;
+    wal_op.op = op;
+    bool ok = (op == 'I' || op == 'U' || op == 'D') &&
+              GetLengthPrefixed(&in, &table);
+    if (ok && (op == 'U' || op == 'D')) ok = GetVarint64(&in, &wal_op.rid);
+    if (ok && (op == 'I' || op == 'U')) {
+      uint64_t ncells = 0;
+      ok = GetVarint64(&in, &ncells);
+      for (uint64_t i = 0; ok && i < ncells; ++i) {
+        if (in.empty()) {
+          ok = false;
+          break;
+        }
+        const auto type = ValueType(in.front());
+        in.remove_prefix(1);
+        if (type == ValueType::kInt64) {
+          uint64_t v = 0;
+          ok = GetFixed64(&in, &v);
+          if (ok) wal_op.stored.emplace_back(int64_t(v));
+        } else {
+          std::string_view s;
+          ok = GetLengthPrefixed(&in, &s);
+          if (ok) {
+            wal_op.stored.emplace_back(type == ValueType::kNull
+                                           ? Value()
+                                           : Value(std::string(s)));
+          }
+        }
+      }
+    }
+    if (!ok) {
+      // A crash mid-append leaves a torn last record; everything before it
+      // is intact, so recover the prefix and note the truncation.
+      replay_stats_.truncated_tail = mark.size() > 0;
+      return size_t(mark.data() - contents.data());
+    }
+    pending_replay_[std::string(table)].push_back(std::move(wal_op));
+  }
+  return contents.size();
+}
+
+void Database::ApplyReplay(Table* t, std::vector<WalOp> ops) {
+  for (WalOp& op : ops) {
+    switch (op.op) {
+      case 'I': {
+        if (op.stored.size() != t->schema().num_columns()) {
+          // Arity mismatch (schema drift): the row is unusable, but its
+          // slot must still exist or every later rid in the log would
+          // shift by one and U/D records would hit neighboring rows.
+          t->slots_.emplace_back(std::nullopt);
+          break;
+        }
+        for (const Value& v : op.stored) t->row_bytes_ += v.ByteSize();
+        t->slots_.emplace_back(std::move(op.stored));
+        ++t->live_rows_;
+        ++replay_stats_.inserts;
+        break;
+      }
+      case 'U': {
+        if (op.rid == 0 || op.rid > t->slots_.size()) continue;
+        auto& slot = t->slots_[op.rid - 1];
+        if (!slot || op.stored.size() != t->schema().num_columns()) continue;
+        for (const Value& v : *slot) t->row_bytes_ -= v.ByteSize();
+        for (const Value& v : op.stored) t->row_bytes_ += v.ByteSize();
+        *slot = std::move(op.stored);
+        ++replay_stats_.updates;
+        break;
+      }
+      case 'D': {
+        if (op.rid == 0 || op.rid > t->slots_.size()) continue;
+        auto& slot = t->slots_[op.rid - 1];
+        if (!slot) continue;
+        for (const Value& v : *slot) t->row_bytes_ -= v.ByteSize();
+        slot.reset();
+        --t->live_rows_;
+        ++replay_stats_.deletes;
+        break;
+      }
+    }
+  }
+}
+
 StatusOr<Table*> Database::CreateTable(const std::string& name,
                                        Schema schema) {
   std::lock_guard<std::mutex> l(tables_mu_);
   auto [it, inserted] =
       tables_.emplace(name, std::make_unique<Table>(name, std::move(schema)));
   if (!inserted) return Status::AlreadyExists("table " + name);
+  auto pending = pending_replay_.find(name);
+  if (pending != pending_replay_.end()) {
+    ApplyReplay(it->second.get(), std::move(pending->second));
+    pending_replay_.erase(pending);
+  }
   return it->second.get();
 }
 
@@ -98,6 +216,18 @@ Status Database::CreateIndex(const std::string& table,
     tree->Insert(decoded[size_t(col)], uint64_t(slot) + 1);
   }
   return Status::OK();
+}
+
+void Database::EncodeCells(std::string* dst, const Row& stored) {
+  PutVarint64(dst, stored.size());
+  for (const Value& v : stored) {
+    dst->push_back(char(v.type()));
+    if (v.type() == ValueType::kInt64) {
+      PutFixed64(dst, uint64_t(v.AsInt64()));
+    } else {
+      PutLengthPrefixed(dst, v.AsString());
+    }
+  }
 }
 
 Value Database::EncodeCell(const Value& v) {
@@ -140,15 +270,7 @@ Status Database::Insert(Table* t, Row row) {
   if (wal_) {
     wal_line.push_back('I');
     PutLengthPrefixed(&wal_line, t->name());
-    PutVarint64(&wal_line, stored.size());
-    for (const Value& v : stored) {
-      wal_line.push_back(char(v.type()));
-      if (v.type() == ValueType::kInt64) {
-        PutFixed64(&wal_line, uint64_t(v.AsInt64()));
-      } else {
-        PutLengthPrefixed(&wal_line, v.AsString());
-      }
-    }
+    EncodeCells(&wal_line, stored);
   }
   {
     std::unique_lock<std::shared_mutex> l(t->mu_);
@@ -159,10 +281,12 @@ Status Database::Insert(Table* t, Row row) {
     for (auto& [col, tree] : t->indexes_) {
       tree->Insert(row[col], row_id);
     }
-  }
-  if (!wal_line.empty()) {
-    Status s = WalAppend(wal_line);
-    if (!s.ok()) return s;
+    // Logged while the table lock is held: WAL order must equal apply
+    // order or replayed rids would point at the wrong rows.
+    if (!wal_line.empty()) {
+      Status s = WalAppend(wal_line);
+      if (!s.ok()) return s;
+    }
   }
   if (stmt_log_) return LogStatement("INSERT INTO " + t->name());
   return Status::OK();
@@ -273,6 +397,7 @@ StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
                                   const std::function<void(Row*)>& mutate) {
   if (!t) return Status::InvalidArgument("null table");
   size_t updated = 0;
+  std::string wal_blob;
   {
     std::unique_lock<std::shared_mutex> l(t->mu_);
     const std::vector<uint64_t> ids = MatchRowIds(t, pred, 0);
@@ -299,16 +424,23 @@ StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
         stored.push_back(EncodeCell(v));
         bytes += stored.back().ByteSize();
       }
+      if (wal_) {
+        wal_blob.push_back('U');
+        PutLengthPrefixed(&wal_blob, t->name());
+        PutVarint64(&wal_blob, rid);
+        EncodeCells(&wal_blob, stored);
+      }
       for (const Value& v : *slot) t->row_bytes_ -= v.ByteSize();
       t->row_bytes_ += bytes;
       *slot = std::move(stored);
       ++updated;
     }
-  }
-  if (wal_ && updated > 0) {
-    Status s = WalAppend(StringPrintf("U %s %zu rows\n", t->name().c_str(),
-                                      updated));
-    if (!s.ok()) return s;
+    // Under the table lock: same-rid updates must hit the WAL in apply
+    // order or replay ends at the wrong final image.
+    if (!wal_blob.empty()) {
+      Status s = WalAppend(wal_blob);
+      if (!s.ok()) return s;
+    }
   }
   if (stmt_log_) {
     Status s = LogStatement("UPDATE " + t->name());
@@ -320,6 +452,7 @@ StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
 StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
   if (!t) return Status::InvalidArgument("null table");
   size_t deleted = 0;
+  std::string wal_blob;
   {
     std::unique_lock<std::shared_mutex> l(t->mu_);
     const std::vector<uint64_t> ids = MatchRowIds(t, pred, 0);
@@ -332,12 +465,16 @@ StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
       slot.reset();
       --t->live_rows_;
       ++deleted;
+      if (wal_) {
+        wal_blob.push_back('D');
+        PutLengthPrefixed(&wal_blob, t->name());
+        PutVarint64(&wal_blob, rid);
+      }
     }
-  }
-  if (wal_ && deleted > 0) {
-    Status s = WalAppend(StringPrintf("D %s %zu rows\n", t->name().c_str(),
-                                      deleted));
-    if (!s.ok()) return s;
+    if (!wal_blob.empty()) {
+      Status s = WalAppend(wal_blob);
+      if (!s.ok()) return s;
+    }
   }
   if (stmt_log_) {
     Status s = LogStatement("DELETE FROM " + t->name());
@@ -350,6 +487,7 @@ StatusOr<size_t> Database::DeleteWhere(
     Table* t, const std::function<bool(const Row&)>& pred) {
   if (!t) return Status::InvalidArgument("null table");
   size_t deleted = 0;
+  std::string wal_blob;
   {
     std::unique_lock<std::shared_mutex> l(t->mu_);
     for (size_t slot_idx = 0; slot_idx < t->slots_.size(); ++slot_idx) {
@@ -363,6 +501,15 @@ StatusOr<size_t> Database::DeleteWhere(
       slot.reset();
       --t->live_rows_;
       ++deleted;
+      if (wal_) {
+        wal_blob.push_back('D');
+        PutLengthPrefixed(&wal_blob, t->name());
+        PutVarint64(&wal_blob, rid);
+      }
+    }
+    if (!wal_blob.empty()) {
+      Status s = WalAppend(wal_blob);
+      if (!s.ok()) return s;
     }
   }
   if (stmt_log_) {

@@ -307,6 +307,39 @@ TEST(KvGdprStore, AccessControlOffAllowsEverything) {
   EXPECT_EQ(store.audit_log()->size(), 0u);
 }
 
+TEST(AuditLog, GroupSealingVerifiesAcrossIntervals) {
+  for (const size_t k : {size_t(1), size_t(7), size_t(32)}) {
+    AuditLog log(k);
+    for (int i = 0; i < 100; ++i) {
+      AuditEntry e;
+      e.timestamp_micros = 1000 + i;
+      e.actor_id = "controller";
+      e.op = "CREATE-RECORD";
+      e.key = "k" + std::to_string(i);
+      log.Append(std::move(e));
+    }
+    EXPECT_EQ(log.size(), 100u) << "k=" << k;
+    // 100 is not a multiple of 7: the partial tail group must seal too.
+    EXPECT_TRUE(log.VerifyChain()) << "k=" << k;
+    // The head is stable once sealed, and reads agree with appends.
+    EXPECT_EQ(log.head_hash(), log.head_hash());
+    EXPECT_EQ(log.Query(1000, 1049).size(), 50u);
+  }
+}
+
+TEST(AuditLog, HeadAdvancesWithNewGroups) {
+  AuditLog log(8);
+  AuditEntry e;
+  e.actor_id = "a";
+  e.op = "OP";
+  log.Append(e);
+  const std::string h1 = log.head_hash();  // seals the 1-entry tail
+  log.Append(e);
+  const std::string h2 = log.head_hash();
+  EXPECT_NE(h1, h2);
+  EXPECT_TRUE(log.VerifyChain());
+}
+
 TEST(KvGdprStore, FeaturesReflectConfiguration) {
   KvGdprOptions o;
   o.compliance.metadata_indexing = true;
