@@ -1,0 +1,205 @@
+// Log compaction under a 10:1 overwrite workload: how big do the AOF / WAL
+// grow relative to live data, what does one erasure-aware compaction pass
+// buy back, and what does a background AOF rewrite cost the foreground
+// p50/p99. Files live in a MemEnv so the numbers isolate the engine's CPU
+// and locking cost from disk hardware (the CI gate must not depend on the
+// runner's fsync latency).
+//
+//   build/bench/bench_compaction [--records=N] [--ops=N]
+//
+// Gate (CI): post-compaction log size <= 1.5x live-data size on both
+// backends after the 10:1 overwrite pass.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/generator.h"
+#include "bench/report.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "relstore/database.h"
+#include "storage/env.h"
+
+namespace gdpr::bench {
+namespace {
+
+constexpr double kMaxAmplification = 1.5;
+
+double Pct(std::vector<double>* lat, double p) {
+  if (lat->empty()) return 0;
+  std::sort(lat->begin(), lat->end());
+  const size_t i = std::min(lat->size() - 1, size_t(p * double(lat->size())));
+  return (*lat)[i];
+}
+
+std::string SizeJson(const char* bench, uint64_t before, uint64_t after,
+                     uint64_t live) {
+  const double amp_before = live ? double(before) / double(live) : 0;
+  const double amp_after = live ? double(after) / double(live) : 0;
+  return StringPrintf(
+      "BENCH_RESULT_JSON {\"bench\":\"%s\",\"log_bytes_before\":%llu,"
+      "\"log_bytes_after\":%llu,\"live_bytes\":%llu,"
+      "\"amplification_before\":%.2f,\"amplification_after\":%.2f}",
+      bench, (unsigned long long)before, (unsigned long long)after,
+      (unsigned long long)live, amp_before, amp_after);
+}
+
+// 10:1 overwrite against the KV backend, then one compaction pass.
+// Returns whether the post-compaction gate holds.
+bool KvAmplification(size_t records) {
+  MemEnv env;
+  KvGdprOptions o;
+  o.compliance.metadata_indexing = true;
+  o.kv.env = &env;
+  o.kv.aof_enabled = true;
+  o.kv.aof_path = "bench-aof";
+  o.kv.sync_policy = SyncPolicy::kNever;
+  KvGdprStore store(o);
+  if (!store.Open().ok()) exit(1);
+  DatasetConfig cfg;
+  cfg.ttl_every = 0;  // keep every record live: amplification is overwrites
+  RecordGenerator gen(cfg, store.clock());
+  const Actor controller = Actor::Controller();
+  for (int round = 0; round < 10; ++round) {
+    for (size_t i = 0; i < records; ++i) {
+      if (!store.CreateRecord(controller, gen.Make(i)).ok()) exit(1);
+    }
+  }
+  const CompactionStats before = store.GetCompactionStats();
+  auto after = store.CompactNow(controller);
+  if (!after.ok()) exit(1);
+  printf("%s\n",
+         SizeJson("compaction-kv-logsize", before.log_bytes,
+                  after.value().log_bytes, after.value().live_bytes)
+             .c_str());
+  ReportTable t({"metric", "value"});
+  t.AddRow({"log before compaction", HumanBytes(before.log_bytes)});
+  t.AddRow({"log after compaction", HumanBytes(after.value().log_bytes)});
+  t.AddRow({"live data", HumanBytes(after.value().live_bytes)});
+  t.AddRow({"amplification before",
+            StringPrintf("%.2fx", double(before.log_bytes) /
+                                      double(after.value().live_bytes))});
+  t.AddRow({"amplification after",
+            StringPrintf("%.2fx", double(after.value().log_bytes) /
+                                      double(after.value().live_bytes))});
+  printf("%s\n", t.Render().c_str());
+  return double(after.value().log_bytes) <=
+         kMaxAmplification * double(after.value().live_bytes);
+}
+
+// Foreground update latency with and without a background rewrite storm.
+void KvLatencyImpact(size_t records, size_t ops) {
+  for (const bool background_rewrites : {false, true}) {
+    MemEnv env;
+    KvGdprOptions o;
+    o.compliance.metadata_indexing = true;
+    o.kv.env = &env;
+    o.kv.aof_enabled = true;
+    o.kv.aof_path = "bench-aof";
+    o.kv.sync_policy = SyncPolicy::kNever;
+    KvGdprStore store(o);
+    if (!store.Open().ok()) exit(1);
+    DatasetConfig cfg;
+    cfg.ttl_every = 0;
+    RecordGenerator gen(cfg, store.clock());
+    const Actor controller = Actor::Controller();
+    for (size_t i = 0; i < records; ++i) {
+      if (!store.CreateRecord(controller, gen.Make(i)).ok()) exit(1);
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> rewrites{0};
+    std::thread compactor;
+    if (background_rewrites) {
+      compactor = std::thread([&] {
+        while (!stop.load()) {
+          if (store.raw()->CompactAof().ok()) rewrites.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    Clock* wall = RealClock::Default();
+    Random rng(99);
+    std::vector<double> lat;
+    lat.reserve(ops);
+    const int64_t run0 = wall->NowMicros();
+    for (size_t i = 0; i < ops; ++i) {
+      const int64_t t0 = wall->NowMicros();
+      store.CreateRecord(controller, gen.Make(rng.Uniform(records))).ok();
+      lat.push_back(double(wall->NowMicros() - t0));
+    }
+    const double secs = double(wall->NowMicros() - run0) / 1e6;
+    stop.store(true);
+    if (compactor.joinable()) compactor.join();
+    const double p50 = Pct(&lat, 0.50), p99 = Pct(&lat, 0.99);
+    const char* name = background_rewrites ? "compaction-kv-during-rewrite"
+                                           : "compaction-kv-baseline";
+    printf("%s\n",
+           BenchResultJson(name, secs > 0 ? double(ops) / secs : 0, p50, p99)
+               .c_str());
+    printf("  %-28s p50 %s  p99 %s  (%zu background rewrites)\n", name,
+           HumanMicros(int64_t(p50)).c_str(),
+           HumanMicros(int64_t(p99)).c_str(), rewrites.load());
+  }
+}
+
+// 10:1 overwrite against the relational backend, then one checkpoint.
+bool RelAmplification(size_t records) {
+  MemEnv env;
+  RelGdprOptions o;
+  o.compliance.metadata_indexing = true;
+  o.rel.env = &env;
+  o.rel.wal_enabled = true;
+  o.rel.wal_path = "bench-wal";
+  o.rel.sync_policy = SyncPolicy::kNever;
+  RelGdprStore store(o);
+  if (!store.Open().ok()) exit(1);
+  DatasetConfig cfg;
+  cfg.ttl_every = 0;
+  RecordGenerator gen(cfg, store.clock());
+  const Actor controller = Actor::Controller();
+  for (int round = 0; round < 10; ++round) {
+    for (size_t i = 0; i < records; ++i) {
+      if (!store.CreateRecord(controller, gen.Make(i)).ok()) exit(1);
+    }
+  }
+  const uint64_t wal_before = store.raw()->WalBytes();
+  auto after = store.CompactNow(controller);
+  if (!after.ok()) exit(1);
+  printf("%s\n",
+         SizeJson("compaction-rel-logsize", wal_before,
+                  after.value().log_bytes, after.value().live_bytes)
+             .c_str());
+  return double(after.value().log_bytes) <=
+         kMaxAmplification * double(after.value().live_bytes);
+}
+
+}  // namespace
+}  // namespace gdpr::bench
+
+int main(int argc, char** argv) {
+  using namespace gdpr::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t records = args.records ? args.records
+                                      : (args.paper_scale ? 20000 : 4000);
+  const size_t ops = args.ops ? args.ops : (args.paper_scale ? 40000 : 8000);
+
+  printf("%s", Banner("Log compaction: amplification + rewrite latency cost")
+                   .c_str());
+  printf("%zu records, 10:1 overwrite, %zu latency-probe ops.\n\n", records,
+         ops);
+
+  printf("-- KV backend: AOF rewrite --\n");
+  const bool kv_ok = KvAmplification(records);
+  printf("-- KV backend: foreground latency vs background rewrites --\n");
+  KvLatencyImpact(records, ops);
+  printf("\n-- Relational backend: WAL checkpoint --\n");
+  const bool rel_ok = RelAmplification(records / 4);
+
+  const bool pass = kv_ok && rel_ok;
+  printf("\nGate: post-compaction log <= %.1fx live data -> %s\n",
+         kMaxAmplification, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -304,6 +304,36 @@ Status ClusterGdprStore::Reset() {
   return Status::OK();
 }
 
+StatusOr<CompactionStats> ClusterGdprStore::CompactNow(const Actor& actor) {
+  // Held shared against MoveSlots: a slot migrating mid-compaction could
+  // otherwise land its records on a node whose rewrite already passed,
+  // resurrecting log frames the source just compacted away.
+  std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
+  auto parts = FanOut<StatusOr<CompactionStats>>([&](KvGdprStore* node) {
+    return node->CompactNow(actor);
+  });
+  CompactionStats merged;
+  for (const auto& part : parts) {
+    if (!part.ok()) {
+      AuditCluster(actor, ops::kCompactAll, "", false);
+      return part.status();
+    }
+    merged.Merge(part.value());
+  }
+  AuditCluster(actor, ops::kCompactAll,
+               StringPrintf("%zu nodes", nodes_.size()), true);
+  return merged;
+}
+
+CompactionStats ClusterGdprStore::GetCompactionStats() {
+  auto parts = FanOut<CompactionStats>([&](KvGdprStore* node) {
+    return node->GetCompactionStats();
+  });
+  CompactionStats merged;
+  for (const auto& part : parts) merged.Merge(part);
+  return merged;
+}
+
 // ---- slot migration -------------------------------------------------------
 
 Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
@@ -329,22 +359,60 @@ Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
       return slot_map_.SlotOf(key) == slot;
     };
     const std::vector<GdprRecord> records = src->ExportRecords(in_slot);
+    // Undoes a partial copy on the destination; ownership never flipped.
+    // A rollback that itself fails (e.g. dst's AOF went offline) leaves
+    // the slot double-resident — escalate, don't pretend it's clean.
+    const auto rollback_copy = [&](size_t n_records,
+                                   const std::vector<std::string>& tombs,
+                                   Status cause) -> Status {
+      for (const std::string& key : tombs) dst->raw()->ClearTombstone(key);
+      bool clean = true;
+      for (size_t j = 0; j < n_records; ++j) {
+        Status es = dst->EvictRecord(records[j].key);
+        if (!es.ok() && !es.IsNotFound()) clean = false;
+      }
+      AuditCluster(Actor::Controller(), ops::kMoveSlots,
+                   StringPrintf("slot %u -> node %u%s", slot, dst_node,
+                                clean ? "" : " (rollback incomplete)"),
+                   false);
+      if (!clean) {
+        return Status::Internal(
+            "slot copy rollback incomplete; records resident on node " +
+            std::to_string(dst_node) + " after: " + cause.ToString());
+      }
+      return cause;
+    };
     for (size_t i = 0; i < records.size(); ++i) {
       Status s = dst->ImportRecord(records[i]);
-      if (!s.ok()) {
-        // Roll the partial copy back; ownership never flipped.
-        for (size_t j = 0; j < i; ++j) dst->EvictRecord(records[j].key).ok();
-        AuditCluster(Actor::Controller(), ops::kMoveSlots,
-                     StringPrintf("slot %u -> node %u", slot, dst_node),
-                     false);
-        return s;
-      }
+      if (!s.ok()) return rollback_copy(i, {}, s);
     }
+    std::vector<std::string> adopted;
     for (const std::string& key : src->ExportTombstones(in_slot)) {
-      dst->AdoptTombstone(key);
+      // Evidence must move with its slot or VerifyDeletion turns false on
+      // the new owner.
+      Status s = dst->AdoptTombstone(key);
+      if (!s.ok()) return rollback_copy(records.size(), adopted, s);
+      adopted.push_back(key);
     }
     slot_map_.SetOwner(slot, dst_node);
-    for (const GdprRecord& rec : records) src->EvictRecord(rec.key).ok();
+    bool evict_clean = true;
+    for (const GdprRecord& rec : records) {
+      Status es = src->EvictRecord(rec.key);
+      if (!es.ok() && !es.IsNotFound()) evict_clean = false;
+    }
+    if (!evict_clean) {
+      // Ownership flipped (dst serves the slot correctly), but the source
+      // still holds resident copies it could not evict — stale ciphertext
+      // that a later compaction on src must not be assumed to have purged.
+      AuditCluster(Actor::Controller(), ops::kMoveSlots,
+                   StringPrintf("slot %u -> node %u (source eviction "
+                                "incomplete)",
+                                slot, dst_node),
+                   false);
+      return Status::Internal(
+          "slot moved but source eviction incomplete on node " +
+          std::to_string(src_idx));
+    }
     moved_records += records.size();
     ++moved_slots;
   }

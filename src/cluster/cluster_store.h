@@ -89,7 +89,17 @@ class ClusterGdprStore : public GdprStore {
   size_t TotalBytes() override;
   Status Reset() override;
 
+  // Fans the erasure-aware compaction out to every node and merges the
+  // per-node stats; audited once on the router chain as COMPACT-ALL.
+  StatusOr<CompactionStats> CompactNow(const Actor& actor) override;
+  CompactionStats GetCompactionStats() override;
+
   // --- Cluster surface -----------------------------------------------------
+
+  // Cluster-flavored alias for CompactNow (the fan-out is the point).
+  StatusOr<CompactionStats> CompactAll(const Actor& actor) {
+    return CompactNow(actor);
+  }
 
   size_t node_count() const { return nodes_.size(); }
   KvGdprStore* node(size_t i) { return nodes_[i].get(); }

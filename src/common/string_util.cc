@@ -40,6 +40,15 @@ std::string HumanMicros(int64_t micros) {
   return StringPrintf("%.1f h", min / 60.0);
 }
 
+std::string HumanBytes(uint64_t bytes) {
+  if (bytes < 1024) return StringPrintf("%llu B", (unsigned long long)bytes);
+  const double kib = double(bytes) / 1024.0;
+  if (kib < 1024) return StringPrintf("%.1f KiB", kib);
+  const double mib = kib / 1024.0;
+  if (mib < 1024) return StringPrintf("%.1f MiB", mib);
+  return StringPrintf("%.2f GiB", mib / 1024.0);
+}
+
 std::string JoinStrings(const std::vector<std::string>& parts, char sep) {
   std::string out;
   for (size_t i = 0; i < parts.size(); ++i) {

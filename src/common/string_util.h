@@ -14,6 +14,9 @@ std::string StringPrintf(const char* format, ...)
 // "17 us", "4.2 ms", "1.50 s", "2.5 min", "3.1 h" — for report tables.
 std::string HumanMicros(int64_t micros);
 
+// "512 B", "1.4 KiB", "3.0 MiB", "1.2 GiB" — for report tables.
+std::string HumanBytes(uint64_t bytes);
+
 std::string JoinStrings(const std::vector<std::string>& parts, char sep);
 std::vector<std::string> SplitString(const std::string& s, char sep);
 

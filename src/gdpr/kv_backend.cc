@@ -113,11 +113,24 @@ void KvGdprStore::IndexRemove(const GdprRecord& record) {
   // Stale TTL heap entries are skipped at pop time.
 }
 
-void KvGdprStore::EraseRecord(const GdprRecord& record) {
-  db_->Delete(record.key).ok();
+Status KvGdprStore::EraseRecord(const GdprRecord& record) {
+  Status s = db_->Delete(record.key);
+  if (!s.ok() && !s.IsNotFound()) {
+    // The record is still resident and still served: do NOT record
+    // tombstone evidence for an erasure that did not happen.
+    return s;
+  }
   if (indexing()) IndexRemove(record);
-  std::lock_guard<std::mutex> l(tomb_mu_);
-  tombstones_.insert(record.key);
+  // Data gone but evidence unwritable: surface it — VerifyDeletion would
+  // deny the erasure ever happened after a restart.
+  s = db_->AddTombstone(record.key);
+  if (!s.ok()) return s;
+  // The erased record's frames sit in the log below this offset until the
+  // next compaction pass rewrites them away.
+  if (options_.kv.aof_enabled) {
+    barrier_.RecordErasure(db_->AofLogBytes(), db_->AofRewriteStarts());
+  }
+  return Status::OK();
 }
 
 Status KvGdprStore::CreateRecord(const Actor& actor,
@@ -143,10 +156,7 @@ Status KvGdprStore::CreateRecord(const Actor& actor,
   }
   Status s = PutRecord(rec);
   if (s.ok() && indexing()) IndexAdd(rec);
-  if (s.ok()) {
-    std::lock_guard<std::mutex> l(tomb_mu_);
-    tombstones_.erase(rec.key);
-  }
+  if (s.ok()) db_->ClearTombstone(rec.key);
   Audit(actor, ops::kCreate, rec.key, s.ok());
   return s;
 }
@@ -344,9 +354,9 @@ Status KvGdprStore::DeleteRecordByKey(const Actor& actor,
     Audit(actor, ops::kDeleteKey, key, false);
     return access;
   }
-  EraseRecord(rec.value());
-  Audit(actor, ops::kDeleteKey, key, true);
-  return Status::OK();
+  Status s = EraseRecord(rec.value());
+  Audit(actor, ops::kDeleteKey, key, s.ok());
+  return s;
 }
 
 StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
@@ -372,7 +382,12 @@ StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
     // the key to another subject since collection.
     auto cur = GetRecordRaw(rec.key);
     if (!cur.ok() || !match_user(cur.value())) continue;
-    EraseRecord(cur.value());
+    Status s = EraseRecord(cur.value());
+    if (!s.ok()) {
+      // Partial erasure must not read as success: surface the failure.
+      Audit(actor, ops::kDeleteUser, user, false);
+      return s;
+    }
     ++erased;
   }
   Audit(actor, ops::kDeleteUser, user, true);
@@ -405,7 +420,11 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
       // TTL rewritten since this heap entry was pushed -> a newer entry
       // covers it.
       if (rec.value().metadata.expiry_micros != expiry) continue;
-      EraseRecord(rec.value());
+      Status s = EraseRecord(rec.value());
+      if (!s.ok()) {
+        Audit(actor, ops::kDeleteExpired, "", false);
+        return s;
+      }
       ++reclaimed;
     }
   } else {
@@ -427,7 +446,11 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
           cur.value().metadata.expiry_micros > now) {
         continue;  // re-created or TTL extended since collection
       }
-      EraseRecord(cur.value());
+      Status s = EraseRecord(cur.value());
+      if (!s.ok()) {
+        Audit(actor, ops::kDeleteExpired, "", false);
+        return s;
+      }
       ++reclaimed;
     }
   }
@@ -441,12 +464,7 @@ StatusOr<bool> KvGdprStore::VerifyDeletion(const Actor& actor,
   Audit(actor, ops::kVerifyDeletion, key, access.ok());
   if (!access.ok()) return access;
   const bool gone = !db_->Get(key).ok();
-  bool evidenced = false;
-  {
-    std::lock_guard<std::mutex> l(tomb_mu_);
-    evidenced = tombstones_.count(key) != 0;
-  }
-  return gone && evidenced;
+  return gone && db_->HasTombstone(key);
 }
 
 StatusOr<std::vector<AuditEntry>> KvGdprStore::GetSystemLogs(
@@ -502,12 +520,7 @@ std::vector<GdprRecord> KvGdprStore::ExportRecords(
 
 std::vector<std::string> KvGdprStore::ExportTombstones(
     const std::function<bool(const std::string&)>& key_pred) {
-  std::vector<std::string> out;
-  std::lock_guard<std::mutex> l(tomb_mu_);
-  for (const auto& key : tombstones_) {
-    if (key_pred(key)) out.push_back(key);
-  }
-  return out;
+  return db_->Tombstones(key_pred);
 }
 
 Status KvGdprStore::ImportRecord(const GdprRecord& record) {
@@ -519,21 +532,20 @@ Status KvGdprStore::ImportRecord(const GdprRecord& record) {
   Status s = PutRecord(record);
   if (!s.ok()) return s;
   if (indexing()) IndexAdd(record);
-  std::lock_guard<std::mutex> l(tomb_mu_);
-  tombstones_.erase(record.key);
+  db_->ClearTombstone(record.key);
   return Status::OK();
 }
 
-void KvGdprStore::AdoptTombstone(const std::string& key) {
-  std::lock_guard<std::mutex> l(tomb_mu_);
-  tombstones_.insert(key);
+Status KvGdprStore::AdoptTombstone(const std::string& key) {
+  return db_->AddTombstone(key);
 }
 
 Status KvGdprStore::EvictRecord(const std::string& key) {
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecordRaw(key);
   if (!rec.ok()) return rec.status();
-  db_->Delete(key).ok();
+  Status s = db_->Delete(key);
+  if (!s.ok() && !s.IsNotFound()) return s;  // still resident: don't unindex
   if (indexing()) IndexRemove(rec.value());
   return Status::OK();
 }
@@ -559,9 +571,38 @@ Status KvGdprStore::Reset() {
     while (!ttl_heap_.empty()) ttl_heap_.pop();
     index_bytes_ = 0;
   }
-  std::lock_guard<std::mutex> l(tomb_mu_);
-  tombstones_.clear();
-  return Status::OK();
+  return Status::OK();  // db_->Clear() dropped the tombstones too
+}
+
+StatusOr<CompactionStats> KvGdprStore::CompactNow(const Actor& actor) {
+  Status access = CheckAccess(actor, ops::kCompact, nullptr);
+  if (access.ok() && actor.role != Actor::Role::kController) {
+    access = Status::PermissionDenied("compaction limited to controller");
+  }
+  if (!access.ok()) {
+    Audit(actor, ops::kCompact, "", false);
+    return access;
+  }
+  Status s = db_->CompactAof();
+  Audit(actor, ops::kCompact, "", s.ok());
+  if (!s.ok()) return s;
+  return GetCompactionStats();
+}
+
+CompactionStats KvGdprStore::GetCompactionStats() {
+  const kv::AofStats aof = db_->GetAofStats();
+  CompactionStats out;
+  out.compactions = aof.rewrites;
+  out.log_bytes = aof.log_bytes;
+  out.live_bytes = aof.live_bytes;
+  out.last_bytes_before = aof.last_bytes_before;
+  out.last_bytes_after = aof.last_bytes_after;
+  out.last_compaction_micros = aof.last_rewrite_micros;
+  out.erasure_barrier = barrier_.offset();
+  // Covered generationally, so a cron-triggered rewrite drains this too.
+  out.erasures_pending_compaction =
+      options_.kv.aof_enabled ? barrier_.Pending(aof.rewrites) : 0;
+  return out;
 }
 
 }  // namespace gdpr

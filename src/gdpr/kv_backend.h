@@ -76,6 +76,11 @@ class KvGdprStore : public GdprStore {
   size_t TotalBytes() override;
   Status Reset() override;
 
+  // Erasure-aware AOF rewrite: snapshot live records + tombstones, truncate
+  // the log. After this no pre-barrier frame of an erased record is on disk.
+  StatusOr<CompactionStats> CompactNow(const Actor& actor) override;
+  CompactionStats GetCompactionStats() override;
+
   kv::MemKV* raw() { return db_.get(); }
   const KvGdprOptions& options() const { return options_; }
 
@@ -95,8 +100,9 @@ class KvGdprStore : public GdprStore {
   // Adopts a record copied in from a departing node: blob + secondary
   // indexes, clearing any stale tombstone for the key.
   Status ImportRecord(const GdprRecord& record);
-  // Adopts erasure evidence for a key this node now owns.
-  void AdoptTombstone(const std::string& key);
+  // Adopts erasure evidence for a key this node now owns. Fails when the
+  // evidence cannot be persisted.
+  Status AdoptTombstone(const std::string& key);
   // Removes a record that was copied out — indexes dropped, no tombstone
   // (the record still exists, just elsewhere).
   Status EvictRecord(const std::string& key);
@@ -142,7 +148,9 @@ class KvGdprStore : public GdprStore {
   void IndexRemove(const GdprRecord& record);
 
   // Shared delete path: removes from KV + indexes, leaves a tombstone.
-  void EraseRecord(const GdprRecord& record);
+  // Fails (without recording evidence) when the store cannot make the
+  // erasure durable — e.g. the AOF went offline after a failed compaction.
+  Status EraseRecord(const GdprRecord& record);
 
   // Collects matching records by metadata, via index or scan. Expired
   // records are excluded for reads and included for erasure paths.
@@ -165,8 +173,9 @@ class KvGdprStore : public GdprStore {
       ttl_heap_;
   size_t index_bytes_ = 0;
 
-  std::mutex tomb_mu_;
-  std::unordered_set<std::string> tombstones_;
+  // Tombstones live in MemKV (persisted in the AOF, carried across
+  // rewrites); this layer only tracks the erasure/compaction contract.
+  ErasureBarrier barrier_;
 
   std::array<std::mutex, 64> key_mu_;
 };

@@ -25,7 +25,11 @@ constexpr const char kGetLogs[] = "GET-SYSTEM-LOGS";
 constexpr const char kGetFeatures[] = "GET-SYSTEM-FEATURES";
 constexpr const char kScanRecords[] = "SCAN-RECORDS";
 
+// Log-compaction pass (erasure-aware rewrite of the AOF / WAL).
+constexpr const char kCompact[] = "COMPACT-LOGS";
+
 // Cluster-level operations, audited on the router's own chain.
 constexpr const char kMoveSlots[] = "MOVE-SLOTS";
+constexpr const char kCompactAll[] = "COMPACT-ALL";
 
 }  // namespace gdpr::ops

@@ -60,26 +60,38 @@ Status RelGdprStore::Open() {
   records_ = t.value();
   Status si = db_->CreateIndex("gdpr_records", "key");
   if (!si.ok()) return si;
+  // Erasure evidence rides the same WAL/checkpoint machinery as the data:
+  // created unconditionally so replay always has a home for its rows.
+  auto tomb = db_->CreateTable("gdpr_tombstones",
+                               Schema({{"key", ValueType::kString}}));
+  if (!tomb.ok()) return tomb.status();
+  tombstones_ = tomb.value();
+  si = db_->CreateIndex("gdpr_tombstones", "key");
+  if (!si.ok()) return si;
+  // Normalized join tables for the multi-valued metadata columns. Created
+  // unconditionally — even with indexing off — so WAL/snapshot replay from
+  // an indexing-on incarnation always has a home for its rows (a pending
+  // table would otherwise block Checkpoint forever). Rows are only
+  // *maintained* when indexing() is on.
+  auto p = db_->CreateTable("gdpr_purpose_idx",
+                            Schema({{"purpose", ValueType::kString},
+                                    {"key", ValueType::kString}}));
+  if (!p.ok()) return p.status();
+  purpose_idx_ = p.value();
+  db_->CreateIndex("gdpr_purpose_idx", "purpose").ok();
+  db_->CreateIndex("gdpr_purpose_idx", "key").ok();
+  auto sh = db_->CreateTable("gdpr_sharing_idx",
+                             Schema({{"party", ValueType::kString},
+                                     {"key", ValueType::kString}}));
+  if (!sh.ok()) return sh.status();
+  sharing_idx_ = sh.value();
+  db_->CreateIndex("gdpr_sharing_idx", "party").ok();
+  db_->CreateIndex("gdpr_sharing_idx", "key").ok();
   if (indexing()) {
     si = db_->CreateIndex("gdpr_records", "user");
     if (!si.ok()) return si;
     si = db_->CreateIndex("gdpr_records", "expiry");
     if (!si.ok()) return si;
-    // Normalized join tables for the multi-valued metadata columns.
-    auto p = db_->CreateTable("gdpr_purpose_idx",
-                              Schema({{"purpose", ValueType::kString},
-                                      {"key", ValueType::kString}}));
-    if (!p.ok()) return p.status();
-    purpose_idx_ = p.value();
-    db_->CreateIndex("gdpr_purpose_idx", "purpose").ok();
-    db_->CreateIndex("gdpr_purpose_idx", "key").ok();
-    auto sh = db_->CreateTable("gdpr_sharing_idx",
-                               Schema({{"party", ValueType::kString},
-                                       {"key", ValueType::kString}}));
-    if (!sh.ok()) return sh.status();
-    sharing_idx_ = sh.value();
-    db_->CreateIndex("gdpr_sharing_idx", "party").ok();
-    db_->CreateIndex("gdpr_sharing_idx", "key").ok();
   }
   return Status::OK();
 }
@@ -145,10 +157,12 @@ StatusOr<GdprRecord> RelGdprStore::GetRecord(const std::string& key) {
   return FromRow(rows.value()[0]);
 }
 
-size_t RelGdprStore::RemoveKey(const std::string& key, bool tombstone) {
+StatusOr<size_t> RelGdprStore::RemoveKey(const std::string& key,
+                                         bool tombstone) {
   const rel::Value kv(key);
   auto deleted = db_->Delete(
       records_, rel::Compare(kKey, rel::CompareOp::kEq, kv, "key"));
+  if (!deleted.ok()) return deleted.status();
   if (purpose_idx_) {
     db_->Delete(purpose_idx_, rel::Compare(1, rel::CompareOp::kEq, kv, "key"))
         .ok();
@@ -157,32 +171,44 @@ size_t RelGdprStore::RemoveKey(const std::string& key, bool tombstone) {
     db_->Delete(sharing_idx_, rel::Compare(1, rel::CompareOp::kEq, kv, "key"))
         .ok();
   }
-  const size_t n = deleted.value_or(0);
+  const size_t n = deleted.value();
   if (tombstone && n > 0) {
-    std::lock_guard<std::mutex> l(tomb_mu_);
-    tombstones_.insert(key);
+    auto existing = db_->Select(
+        tombstones_, rel::Compare(0, rel::CompareOp::kEq, kv, "key"), 1);
+    if (!existing.ok()) return existing.status();
+    if (existing.value().empty()) {
+      Status ts = db_->Insert(tombstones_, {rel::Value(key)});
+      // Data gone but evidence unwritable: surface it — VerifyDeletion
+      // would deny the erasure ever happened.
+      if (!ts.ok()) return ts;
+    }
+    // The erased record's frames sit in the WAL below this offset until
+    // the next checkpoint rewrites them away.
+    if (options_.rel.wal_enabled) {
+      barrier_.RecordErasure(db_->WalBytes(), db_->CheckpointStarts());
+    }
   }
   return n;
 }
 
 Status RelGdprStore::PutRecord(const GdprRecord& rec) {
-  RemoveKey(rec.key, /*tombstone=*/false);
+  auto removed = RemoveKey(rec.key, /*tombstone=*/false);
+  if (!removed.ok()) return removed.status();
   Status s = db_->Insert(records_, ToRow(rec));
   if (!s.ok()) return s;
-  if (purpose_idx_) {
+  // Join rows are an indexing cost (the Fig 3b effect): only paid when the
+  // flag is on. The tables themselves always exist (see Open).
+  if (indexing()) {
     for (const auto& p : rec.metadata.purposes) {
       db_->Insert(purpose_idx_, {rel::Value(p), rel::Value(rec.key)}).ok();
     }
-  }
-  if (sharing_idx_) {
     for (const auto& tp : rec.metadata.shared_with) {
       db_->Insert(sharing_idx_, {rel::Value(tp), rel::Value(rec.key)}).ok();
     }
   }
-  {
-    std::lock_guard<std::mutex> l(tomb_mu_);
-    tombstones_.erase(rec.key);
-  }
+  db_->Delete(tombstones_,
+              rel::Compare(0, rel::CompareOp::kEq, rel::Value(rec.key), "key"))
+      .ok();
   return Status::OK();
 }
 
@@ -417,9 +443,9 @@ Status RelGdprStore::DeleteRecordByKey(const Actor& actor,
     Audit(actor, ops::kDeleteKey, key, false);
     return access;
   }
-  RemoveKey(key, /*tombstone=*/true);
-  Audit(actor, ops::kDeleteKey, key, true);
-  return Status::OK();
+  auto removed = RemoveKey(key, /*tombstone=*/true);
+  Audit(actor, ops::kDeleteKey, key, removed.ok());
+  return removed.status();
 }
 
 StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
@@ -462,7 +488,12 @@ StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
         rows.value()[0][kUser].AsString() != user) {
       continue;
     }
-    erased += RemoveKey(k, /*tombstone=*/true);
+    auto removed = RemoveKey(k, /*tombstone=*/true);
+    if (!removed.ok()) {
+      Audit(actor, ops::kDeleteUser, user, false);
+      return removed.status();
+    }
+    erased += removed.value();
   }
   Audit(actor, ops::kDeleteUser, user, true);
   return erased;
@@ -505,7 +536,12 @@ StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
         !RowExpired(rows.value()[0], now)) {
       continue;  // re-created or TTL extended since collection
     }
-    erased += RemoveKey(k, /*tombstone=*/true);
+    auto removed = RemoveKey(k, /*tombstone=*/true);
+    if (!removed.ok()) {
+      Audit(actor, ops::kDeleteExpired, "", false);
+      return removed.status();
+    }
+    erased += removed.value();
   }
   Audit(actor, ops::kDeleteExpired, "", true);
   return erased;
@@ -522,11 +558,10 @@ StatusOr<bool> RelGdprStore::VerifyDeletion(const Actor& actor,
                                        rel::Value(key), "key"),
                           1);
   const bool gone = rows.ok() && rows.value().empty();
-  bool evidenced = false;
-  {
-    std::lock_guard<std::mutex> l(tomb_mu_);
-    evidenced = tombstones_.count(key) != 0;
-  }
+  auto tomb = db_->Select(
+      tombstones_,
+      rel::Compare(0, rel::CompareOp::kEq, rel::Value(key), "key"), 1);
+  const bool evidenced = tomb.ok() && !tomb.value().empty();
   return gone && evidenced;
 }
 
@@ -588,9 +623,42 @@ Status RelGdprStore::Reset() {
   if (sharing_idx_) {
     db_->DeleteWhere(sharing_idx_, [](const rel::Row&) { return true; }).ok();
   }
-  std::lock_guard<std::mutex> l(tomb_mu_);
-  tombstones_.clear();
+  if (tombstones_) {
+    db_->DeleteWhere(tombstones_, [](const rel::Row&) { return true; }).ok();
+  }
   return Status::OK();
+}
+
+StatusOr<CompactionStats> RelGdprStore::CompactNow(const Actor& actor) {
+  Status access =
+      CheckGdprAccess(options_.compliance, actor, ops::kCompact, nullptr);
+  if (access.ok() && actor.role != Actor::Role::kController) {
+    access = Status::PermissionDenied("compaction limited to controller");
+  }
+  if (!access.ok()) {
+    Audit(actor, ops::kCompact, "", false);
+    return access;
+  }
+  Status s = db_->Checkpoint();
+  Audit(actor, ops::kCompact, "", s.ok());
+  if (!s.ok()) return s;
+  return GetCompactionStats();
+}
+
+CompactionStats RelGdprStore::GetCompactionStats() {
+  const rel::CheckpointStats ck = db_->GetCheckpointStats();
+  CompactionStats out;
+  out.compactions = ck.checkpoints;
+  // The durable footprint after a checkpoint is snapshot + WAL tail.
+  out.log_bytes = ck.wal_bytes + ck.last_snapshot_bytes;
+  out.live_bytes = db_->ApproximateBytes();
+  out.last_bytes_before = ck.last_wal_bytes_before;
+  out.last_bytes_after = ck.last_wal_bytes_after + ck.last_snapshot_bytes;
+  out.last_compaction_micros = ck.last_checkpoint_micros;
+  out.erasure_barrier = barrier_.offset();
+  out.erasures_pending_compaction =
+      options_.rel.wal_enabled ? barrier_.Pending(ck.checkpoints) : 0;
+  return out;
 }
 
 }  // namespace gdpr

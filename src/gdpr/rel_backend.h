@@ -11,7 +11,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "gdpr/store.h"
@@ -70,6 +69,12 @@ class RelGdprStore : public GdprStore {
   size_t TotalBytes() override;
   Status Reset() override;
 
+  // Erasure-aware checkpoint: snapshot table heaps (tombstone table
+  // included), truncate the WAL. After this no pre-barrier frame of an
+  // erased record is on disk.
+  StatusOr<CompactionStats> CompactNow(const Actor& actor) override;
+  CompactionStats GetCompactionStats() override;
+
   rel::Database* raw() { return db_.get(); }
   const RelGdprOptions& options() const { return options_; }
 
@@ -89,7 +94,10 @@ class RelGdprStore : public GdprStore {
   // inserts the new row + join rows.
   Status PutRecord(const GdprRecord& rec);
   // Removes row + join entries; leaves a tombstone when `tombstone`.
-  size_t RemoveKey(const std::string& key, bool tombstone);
+  // Fails when the erasure evidence cannot be written (e.g. the WAL went
+  // offline after a failed checkpoint) — a deletion whose proof is lost
+  // must not read as success.
+  StatusOr<size_t> RemoveKey(const std::string& key, bool tombstone);
 
   std::vector<GdprRecord> CollectWhere(
       const std::function<bool(const GdprRecord&)>& match);
@@ -113,9 +121,11 @@ class RelGdprStore : public GdprStore {
   rel::Table* records_ = nullptr;
   rel::Table* purpose_idx_ = nullptr;
   rel::Table* sharing_idx_ = nullptr;
+  // Erasure evidence as rows: WAL-replayed and checkpoint-serialized like
+  // any other table, so tombstones survive restarts AND compaction.
+  rel::Table* tombstones_ = nullptr;
 
-  std::mutex tomb_mu_;
-  std::unordered_set<std::string> tombstones_;
+  ErasureBarrier barrier_;
 
   std::array<std::mutex, 64> key_mu_;
 };

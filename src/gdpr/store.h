@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "gdpr/actor.h"
 #include "gdpr/audit.h"
+#include "gdpr/compaction.h"
 #include "gdpr/compliance.h"
 #include "gdpr/record.h"
 
@@ -88,6 +89,13 @@ class GdprStore {
   virtual Status ScanRecords(
       const Actor& actor,
       const std::function<bool(const GdprRecord&)>& fn) = 0;
+
+  // Erasure-aware log compaction: rewrites the persistence log(s) so no
+  // pre-barrier frame of an erased record remains on disk (tombstones and
+  // audit evidence survive). Controller-only; returns post-pass stats.
+  // No-op success when the store has no on-disk log.
+  virtual StatusOr<CompactionStats> CompactNow(const Actor& actor) = 0;
+  virtual CompactionStats GetCompactionStats() = 0;
 
   // Live record count / resident bytes (Table 3 space factor).
   virtual size_t RecordCount() = 0;

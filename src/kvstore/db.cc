@@ -27,6 +27,10 @@ uint64_t HashKey(const std::string& key) {
   return h;
 }
 
+std::string CompactTmpPath(const std::string& aof_path) {
+  return aof_path + ".compact.tmp";
+}
+
 }  // namespace
 
 MemKV::MemKV(const Options& options) : options_(options) {
@@ -53,11 +57,18 @@ Status MemKV::Open() {
     if (options_.aof_path.empty()) {
       return Status::InvalidArgument("aof_enabled requires aof_path");
     }
+    aof_failed_.store(false, std::memory_order_release);
+    // A leftover rewrite temp means a crash mid-compaction before the
+    // atomic rename: the old AOF is authoritative, the temp is garbage.
+    if (env_->FileExists(CompactTmpPath(options_.aof_path))) {
+      env_->DeleteFile(CompactTmpPath(options_.aof_path)).ok();
+    }
     if (env_->FileExists(options_.aof_path)) {
       auto contents = env_->ReadFileToString(options_.aof_path);
       if (contents.ok()) {
         Status s = AofReplay(contents.value());
         if (!s.ok()) return s;
+        aof_file_bytes_.store(contents.value().size());
       }
     }
     auto file = env_->NewWritableFile(options_.aof_path, /*truncate=*/false);
@@ -118,6 +129,9 @@ void MemKV::EraseLocked(Shard& s, const std::string& key) {
 
 Status MemKV::SetInternal(const std::string& key, const std::string& value,
                           int64_t expiry_abs, bool log_to_aof) {
+  if (aof_failed_.load(std::memory_order_acquire)) {
+    return Status::IOError("aof offline after failed compaction");
+  }
   std::string stored = value;
   if (aead_) {
     stored = aead_->Seal(value, seal_seq_.fetch_add(1));
@@ -183,6 +197,9 @@ StatusOr<std::string> MemKV::Get(const std::string& key) {
 }
 
 Status MemKV::Delete(const std::string& key) {
+  if (aof_failed_.load(std::memory_order_acquire)) {
+    return Status::IOError("aof offline after failed compaction");
+  }
   Shard& s = ShardFor(key);
   bool existed = false;
   {
@@ -307,6 +324,9 @@ void MemKV::StartExpiryCron() {
       cron_cv_.wait_for(l, period);
       if (!cron_running_.load()) break;
       RunExpiryCycle();
+      // Background rewrite rides the same cron (Redis runs BGREWRITEAOF
+      // off serverCron the same way).
+      MaybeCompactAof();
     }
   });
 }
@@ -330,21 +350,90 @@ void MemKV::Clear() {
     while (!s.ttl_heap.empty()) s.ttl_heap.pop();
     s.bytes = 0;
   }
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  tombstones_.clear();
+}
+
+// --- Erasure tombstones ------------------------------------------------------
+// Callers serialize per key above this layer (the GDPR key mutexes), so the
+// set mutation and its AOF record cannot reorder for one key.
+
+Status MemKV::AddTombstone(const std::string& key) {
+  if (aof_failed_.load(std::memory_order_acquire)) {
+    return Status::IOError("aof offline after failed compaction");
+  }
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    inserted = tombstones_.insert(key).second;
+  }
+  if (inserted && aof_active_.load(std::memory_order_acquire)) {
+    Status s = AofAppend('T', key, "", 0);
+    if (!s.ok()) {
+      // Unpersisted evidence would vanish on restart: roll back so the
+      // caller does not report an erasure it cannot prove later.
+      std::lock_guard<std::mutex> l(tomb_mu_);
+      tombstones_.erase(key);
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+void MemKV::ClearTombstone(const std::string& key) {
+  bool erased;
+  {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    erased = tombstones_.erase(key) != 0;
+  }
+  if (erased && aof_active_.load(std::memory_order_acquire)) {
+    AofAppend('t', key, "", 0).ok();
+  }
+}
+
+bool MemKV::HasTombstone(const std::string& key) const {
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  return tombstones_.count(key) != 0;
+}
+
+std::vector<std::string> MemKV::Tombstones(
+    const std::function<bool(const std::string&)>& key_pred) const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  for (const auto& key : tombstones_) {
+    if (!key_pred || key_pred(key)) out.push_back(key);
+  }
+  return out;
+}
+
+size_t MemKV::TombstoneCount() const {
+  std::lock_guard<std::mutex> l(tomb_mu_);
+  return tombstones_.size();
+}
+
+void MemKV::EncodeAofRecord(std::string* dst, char op, const std::string& key,
+                            const std::string& value, int64_t expiry) {
+  dst->push_back(op);
+  PutLengthPrefixed(dst, key);
+  if (op == 'S') {
+    PutLengthPrefixed(dst, value);
+    PutFixed64(dst, uint64_t(expiry));
+  }
 }
 
 Status MemKV::AofAppend(char op, const std::string& key,
                         const std::string& value, int64_t expiry) {
   std::string rec;
-  rec.push_back(op);
-  PutLengthPrefixed(&rec, key);
-  if (op == 'S') {
-    PutLengthPrefixed(&rec, value);
-    PutFixed64(&rec, uint64_t(expiry));
-  }
+  EncodeAofRecord(&rec, op, key, value, expiry);
   std::lock_guard<std::mutex> l(aof_mu_);
   if (!aof_) return Status::OK();
+  // Mirror into the rewrite buffer so a mutation racing a CompactAof
+  // snapshot is not lost from the new log (replay is last-write-wins, so
+  // double-capture — snapshot AND buffer — is harmless).
+  if (rewrite_active_) rewrite_buf_.append(rec);
   Status s = aof_->Append(rec);
   if (!s.ok()) return s;
+  aof_file_bytes_.fetch_add(rec.size());
   if (options_.sync_policy == SyncPolicy::kAlways) return aof_->Sync();
   if (options_.sync_policy == SyncPolicy::kEverySec) {
     const int64_t now = RealClock::Default()->NowMicros();
@@ -372,6 +461,20 @@ Status MemKV::AofReplay(const std::string& contents) {
   while (!in.empty()) {
     const char op = in.front();
     in.remove_prefix(1);
+    if (op == 'Q') {
+      // Seal-sequence high-water mark, written by CompactAof. The rewrite
+      // drops dead sealed frames, so the embedded-seq recovery below can
+      // no longer see the true maximum — this frame carries it instead.
+      // Resuming lower would reuse ChaCha20 (key, seq) nonces.
+      uint64_t seq = 0;
+      if (!GetFixed64(&in, &seq)) {
+        return Status::DataLoss("truncated AOF seq record");
+      }
+      uint64_t cur = seal_seq_.load();
+      while (seq + 1 > cur && !seal_seq_.compare_exchange_weak(cur, seq + 1)) {
+      }
+      continue;
+    }
     std::string_view key;
     if (!GetLengthPrefixed(&in, &key)) {
       return Status::DataLoss("truncated AOF record");
@@ -419,6 +522,12 @@ Status MemKV::AofReplay(const std::string& contents) {
       Shard& s = ShardFor(k);
       std::unique_lock<std::shared_mutex> l(s.mu);
       EraseLocked(s, k);
+    } else if (op == 'T') {
+      std::lock_guard<std::mutex> l(tomb_mu_);
+      tombstones_.insert(std::string(key));
+    } else if (op == 't') {
+      std::lock_guard<std::mutex> l(tomb_mu_);
+      tombstones_.erase(std::string(key));
     } else if (op == 'R') {
       // read-log entry: no state change
     } else {
@@ -426,6 +535,161 @@ Status MemKV::AofReplay(const std::string& contents) {
     }
   }
   return Status::OK();
+}
+
+// --- AOF rewrite -------------------------------------------------------------
+
+Status MemKV::CompactAof() {
+  if (!options_.aof_enabled) return Status::OK();  // nothing on disk to shrink
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  const uint64_t bytes_before = aof_file_bytes_.load();
+  // Phase 1: arm the mirror buffer — from here on every AofAppend is
+  // captured for the new log as well as the old one.
+  {
+    std::lock_guard<std::mutex> l(aof_mu_);
+    if (!aof_) return Status::FailedPrecondition("aof not open");
+    rewrite_active_ = true;
+    rewrite_buf_.clear();
+  }
+  aof_rewrite_starts_.fetch_add(1);
+  auto abort_rewrite = [this](const std::string& tmp_path) {
+    std::lock_guard<std::mutex> l(aof_mu_);
+    rewrite_active_ = false;
+    rewrite_buf_.clear();
+    env_->DeleteFile(tmp_path).ok();
+  };
+  // Phase 2: snapshot live state into the temp file, one shard lock at a
+  // time (writers to other shards proceed). Stored values are copied
+  // verbatim — sealed bytes never round-trip through plaintext. Expired-
+  // but-unreclaimed entries are dropped: replay would erase them anyway.
+  const std::string tmp_path = CompactTmpPath(options_.aof_path);
+  auto tmp = env_->NewWritableFile(tmp_path, /*truncate=*/true);
+  if (!tmp.ok()) {
+    abort_rewrite(tmp_path);
+    return tmp.status();
+  }
+  std::unique_ptr<WritableFile> out = std::move(tmp.value());
+  const int64_t now = NowMicros();
+  uint64_t tmp_bytes = 0;
+  std::string buf;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    buf.clear();
+    {
+      std::shared_lock<std::shared_mutex> l(s.mu);
+      for (const auto& [key, entry] : s.map) {
+        if (entry.expiry_micros != 0 && entry.expiry_micros <= now) continue;
+        EncodeAofRecord(&buf, 'S', key, entry.value, entry.expiry_micros);
+      }
+    }
+    Status st = out->Append(buf);
+    if (!st.ok()) {
+      abort_rewrite(tmp_path);
+      return st;
+    }
+    tmp_bytes += buf.size();
+  }
+  // Tombstones outlive the records they evidence: the erased data's frames
+  // are gone from the new log, the proof of erasure is not.
+  buf.clear();
+  {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    for (const auto& key : tombstones_) EncodeAofRecord(&buf, 'T', key, "", 0);
+  }
+  Status st = out->Append(buf);
+  // Sync the bulk snapshot BEFORE taking aof_mu_: this fsync is
+  // proportional to total live data and must not stall writers; the one
+  // under the lock covers only the small racing-write tail.
+  if (st.ok()) st = out->Sync();
+  if (!st.ok()) {
+    abort_rewrite(tmp_path);
+    return st;
+  }
+  tmp_bytes += buf.size();
+  // Phase 3: drain the mirror buffer, fsync the tail, and atomically swap
+  // the logs. Writers block on aof_mu_ only for this window — the p99 cost
+  // bench_compaction measures. A crash before RenameFile leaves the old
+  // AOF authoritative; after it, the new one. Never a mix.
+  {
+    std::lock_guard<std::mutex> l(aof_mu_);
+    if (!rewrite_buf_.empty()) {
+      st = out->Append(rewrite_buf_);
+      tmp_bytes += rewrite_buf_.size();
+    }
+    if (st.ok() && aead_) {
+      // The rewrite dropped dead sealed frames, so the replayer can no
+      // longer recover the seal counter from embedded sequences alone:
+      // record the allocated high-water mark explicitly ('Q' frame).
+      // Every seq allocated after this load lands as a frame behind it.
+      std::string seq_frame;
+      seq_frame.push_back('Q');
+      PutFixed64(&seq_frame, seal_seq_.load());
+      st = out->Append(seq_frame);
+      tmp_bytes += seq_frame.size();
+    }
+    if (st.ok()) st = out->Sync();
+    if (st.ok()) st = out->Close();
+    if (!st.ok()) {
+      rewrite_active_ = false;
+      rewrite_buf_.clear();
+      env_->DeleteFile(tmp_path).ok();
+      return st;
+    }
+    aof_->Flush().ok();
+    aof_->Close().ok();
+    aof_.reset();
+    st = env_->RenameFile(tmp_path, options_.aof_path);
+    if (st.ok()) {
+      auto reopened = env_->NewWritableFile(options_.aof_path,
+                                            /*truncate=*/false);
+      if (reopened.ok()) {
+        aof_ = std::move(reopened.value());
+      } else {
+        st = reopened.status();
+      }
+    }
+    rewrite_active_ = false;
+    rewrite_buf_.clear();
+    if (!st.ok()) {
+      // Memory state is intact but the log handle is gone. Refuse further
+      // mutations (aof_failed_) instead of accepting writes that would
+      // silently vanish on the next restart.
+      aof_active_.store(false, std::memory_order_release);
+      aof_failed_.store(true, std::memory_order_release);
+      return st;
+    }
+    aof_file_bytes_.store(tmp_bytes);
+  }
+  aof_rewrites_.fetch_add(1);
+  last_rewrite_before_.store(bytes_before);
+  last_rewrite_after_.store(tmp_bytes);
+  last_rewrite_micros_.store(RealClock::Default()->NowMicros());
+  return Status::OK();
+}
+
+bool MemKV::AofCompactionDue() const {
+  if (!options_.aof_enabled || !options_.aof_auto_compact) return false;
+  if (options_.aof_compact_min_bytes == 0 || options_.aof_compact_ratio <= 0) {
+    return false;
+  }
+  const uint64_t log = aof_file_bytes_.load();
+  if (log < options_.aof_compact_min_bytes) return false;
+  return double(log) > options_.aof_compact_ratio * double(ApproximateBytes());
+}
+
+void MemKV::MaybeCompactAof() {
+  if (AofCompactionDue()) CompactAof().ok();
+}
+
+AofStats MemKV::GetAofStats() const {
+  AofStats s;
+  s.rewrites = aof_rewrites_.load();
+  s.log_bytes = aof_file_bytes_.load();
+  s.live_bytes = ApproximateBytes();
+  s.last_bytes_before = last_rewrite_before_.load();
+  s.last_bytes_after = last_rewrite_after_.load();
+  s.last_rewrite_micros = last_rewrite_micros_.load();
+  return s;
 }
 
 }  // namespace gdpr::kv

@@ -23,6 +23,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
@@ -59,6 +60,25 @@ struct Options {
   std::string encryption_key = "memkv-at-rest-key";
 
   bool log_reads = false;  // audit retrofit: append every read to the AOF
+
+  // Background AOF rewrite (Redis BGREWRITEAOF shape): the expiry cron
+  // triggers CompactAof() once the log passes BOTH floors — an absolute
+  // byte minimum and a ratio over resident live bytes. Either floor at 0
+  // disables the auto trigger; CompactAof() stays callable explicitly.
+  bool aof_auto_compact = false;
+  uint64_t aof_compact_min_bytes = 4 << 20;
+  double aof_compact_ratio = 2.0;
+};
+
+// Observability for the AOF rewrite path (surfaced through the GDPR layer
+// as gdpr::CompactionStats).
+struct AofStats {
+  uint64_t rewrites = 0;           // completed CompactAof passes
+  uint64_t log_bytes = 0;          // current AOF length
+  uint64_t live_bytes = 0;         // resident key+value bytes
+  uint64_t last_bytes_before = 0;  // log length entering the last pass
+  uint64_t last_bytes_after = 0;   // ... and leaving it
+  int64_t last_rewrite_micros = 0;
 };
 
 class MemKV {
@@ -101,8 +121,40 @@ class MemKV {
   void StartExpiryCron();
   void StopExpiryCron();
 
-  // Drops all entries (not the AOF). Used by bench reload paths.
+  // Drops all entries and tombstones (not the AOF). Used by bench reload
+  // paths.
   void Clear();
+
+  // Rewrites the AOF to live state only: snapshot of resident entries +
+  // tombstone registry into <aof_path>.compact.tmp, appends whatever raced
+  // in during the snapshot, fsyncs, atomically renames over the AOF. A
+  // crash anywhere before the rename leaves the old AOF authoritative (the
+  // temp file is discarded on the next Open). No-op when the AOF is off.
+  Status CompactAof();
+  // Log length / auto-trigger decision, for callers building policy above.
+  uint64_t AofLogBytes() const { return aof_file_bytes_.load(); }
+  bool AofCompactionDue() const;
+  // Runs CompactAof iff the policy says it is due (the cron calls this).
+  void MaybeCompactAof();
+  AofStats GetAofStats() const;
+  // Rewrite passes *started* (>= GetAofStats().rewrites, which counts
+  // completions). Lets ErasureBarrier decide which erasures a completed
+  // pass is guaranteed to have covered.
+  uint64_t AofRewriteStarts() const { return aof_rewrite_starts_.load(); }
+
+  // --- Erasure-tombstone registry ------------------------------------------
+  // Evidence that a key was GDPR-erased. Persisted in the AOF ('T' add /
+  // 't' clear) so it survives restarts AND compaction — a rewrite carries
+  // the registry over even though the erased record's frames are dropped.
+  // AddTombstone fails (and rolls the in-memory entry back) when the 'T'
+  // frame cannot be appended: evidence that would not survive a restart
+  // must not be reported as recorded.
+  Status AddTombstone(const std::string& key);
+  void ClearTombstone(const std::string& key);
+  bool HasTombstone(const std::string& key) const;
+  std::vector<std::string> Tombstones(
+      const std::function<bool(const std::string&)>& key_pred = nullptr) const;
+  size_t TombstoneCount() const;
 
   const Options& options() const { return options_; }
 
@@ -150,6 +202,8 @@ class MemKV {
                    int64_t expiry);
   Status AofReplay(const std::string& contents);
   void AofMaybeSync();
+  static void EncodeAofRecord(std::string* dst, char op, const std::string& key,
+                              const std::string& value, int64_t expiry);
 
   Options options_;
   Clock* clock_;
@@ -165,7 +219,26 @@ class MemKV {
   // Checked on hot paths without taking aof_mu_; AofAppend re-validates
   // the pointer under the lock.
   std::atomic<bool> aof_active_{false};
+  // Set when a compaction swapped the old AOF away but could not establish
+  // the new one: mutations must fail loudly, not vanish on restart.
+  std::atomic<bool> aof_failed_{false};
   int64_t last_sync_micros_ = 0;
+  std::atomic<uint64_t> aof_file_bytes_{0};
+
+  // Rewrite-in-progress state: while a CompactAof snapshot runs, AofAppend
+  // mirrors every record into rewrite_buf_ (under aof_mu_) so writes that
+  // race the snapshot land in the new log too.
+  std::mutex compact_mu_;  // one rewrite at a time
+  bool rewrite_active_ = false;  // guarded by aof_mu_
+  std::string rewrite_buf_;      // guarded by aof_mu_
+  std::atomic<uint64_t> aof_rewrites_{0};
+  std::atomic<uint64_t> aof_rewrite_starts_{0};
+  std::atomic<uint64_t> last_rewrite_before_{0};
+  std::atomic<uint64_t> last_rewrite_after_{0};
+  std::atomic<int64_t> last_rewrite_micros_{0};
+
+  mutable std::mutex tomb_mu_;
+  std::unordered_set<std::string> tombstones_;
 
   std::atomic<bool> open_{false};
   std::atomic<bool> cron_running_{false};

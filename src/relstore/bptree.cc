@@ -34,11 +34,11 @@ BPlusTree::BPlusTree() : root_(new Node(true)) {}
 
 BPlusTree::~BPlusTree() { delete root_; }
 
-BPlusTree::Node* BPlusTree::FindLeaf(const Value& key, uint64_t row_id,
-                                     std::vector<Node*>* path) const {
+BPlusTree::Node* BPlusTree::FindLeaf(
+    const Value& key, uint64_t row_id,
+    std::vector<std::pair<Node*, size_t>>* path) const {
   Node* n = root_;
   while (!n->leaf) {
-    if (path) path->push_back(n);
     // First child whose separator is > (key, row_id).
     size_t i = 0;
     while (i < n->keys.size() &&
@@ -46,6 +46,7 @@ BPlusTree::Node* BPlusTree::FindLeaf(const Value& key, uint64_t row_id,
                0) {
       ++i;
     }
+    if (path) path->emplace_back(n, i);
     n = n->children[i];
   }
   return n;
@@ -111,6 +112,7 @@ void BPlusTree::Insert(const Value& key, uint64_t row_id) {
     Node* new_root = new Node(false);
     new_root->children.push_back(root_);
     root_ = new_root;
+    bytes_ += 64;  // mirrored by the root collapse in RebalanceAfterErase
     SplitChild(root_, 0);
   }
   InsertNonFull(root_, key, row_id);
@@ -119,21 +121,146 @@ void BPlusTree::Insert(const Value& key, uint64_t row_id) {
 }
 
 bool BPlusTree::Erase(const Value& key, uint64_t row_id) {
-  Node* leaf = FindLeaf(key, row_id, nullptr);
+  std::vector<std::pair<Node*, size_t>> path;  // (ancestor, child index)
+  Node* n = FindLeaf(key, row_id, &path);
   auto it = std::lower_bound(
-      leaf->entries.begin(), leaf->entries.end(), key,
+      n->entries.begin(), n->entries.end(), key,
       [row_id](const LeafEntry& e, const Value& k) {
         return CompositeCompare(e.key, e.row_id, k, row_id) < 0;
       });
-  if (it == leaf->entries.end() || it->key != key || it->row_id != row_id) {
+  if (it == n->entries.end() || it->key != key || it->row_id != row_id) {
     return false;
   }
   bytes_ -= key.ByteSize() + 8;
-  leaf->entries.erase(it);
+  n->entries.erase(it);
   --size_;
-  // Underflowed leaves are tolerated (no merge/rebalance): deletions in this
-  // workload are a small fraction of inserts, and scans skip empty leaves.
+  RebalanceAfterErase(n, &path);
   return true;
+}
+
+void BPlusTree::RebalanceAfterErase(
+    Node* node, std::vector<std::pair<Node*, size_t>>* path) {
+  // Min fill for a non-root node; splits produce halves of exactly this
+  // size, so borrow (> kMinFill) and merge (both <= kMinFill) can never
+  // rebuild an over-full node.
+  constexpr size_t kMinFill = kOrder / 2;
+  while (node != root_) {
+    const size_t fill = node->leaf ? node->entries.size() : node->keys.size();
+    if (fill >= kMinFill) return;
+    auto [parent, idx] = path->back();
+    path->pop_back();
+    Node* left = idx > 0 ? parent->children[idx - 1] : nullptr;
+    Node* right =
+        idx + 1 < parent->children.size() ? parent->children[idx + 1] : nullptr;
+    if (node->leaf) {
+      if (left && left->entries.size() > kMinFill) {
+        // Borrow the left sibling's last entry; it becomes this leaf's
+        // first, so the separator between the two moves down to it.
+        node->entries.insert(node->entries.begin(),
+                             std::move(left->entries.back()));
+        left->entries.pop_back();
+        parent->keys[idx - 1] = node->entries.front();
+        return;
+      }
+      if (right && right->entries.size() > kMinFill) {
+        node->entries.push_back(std::move(right->entries.front()));
+        right->entries.erase(right->entries.begin());
+        parent->keys[idx] = right->entries.front();
+        return;
+      }
+      // Both neighbors at minimum: merge (into the left one when it
+      // exists, else pull the right one in), unlinking from the leaf chain.
+      if (left) {
+        left->entries.insert(left->entries.end(),
+                             std::make_move_iterator(node->entries.begin()),
+                             std::make_move_iterator(node->entries.end()));
+        left->next = node->next;
+        parent->keys.erase(parent->keys.begin() + long(idx) - 1);
+        parent->children.erase(parent->children.begin() + long(idx));
+        node->children.clear();
+        delete node;
+      } else if (right) {
+        node->entries.insert(node->entries.end(),
+                             std::make_move_iterator(right->entries.begin()),
+                             std::make_move_iterator(right->entries.end()));
+        node->next = right->next;
+        parent->keys.erase(parent->keys.begin() + long(idx));
+        parent->children.erase(parent->children.begin() + long(idx) + 1);
+        right->children.clear();
+        delete right;
+      } else {
+        return;  // unreachable: an internal parent always has >= 2 children
+      }
+      bytes_ -= std::min<size_t>(bytes_, 64);
+    } else {
+      if (left && left->keys.size() > kMinFill) {
+        // Rotate through the parent: its separator drops into this node,
+        // the left sibling's last separator replaces it.
+        node->keys.insert(node->keys.begin(), parent->keys[idx - 1]);
+        parent->keys[idx - 1] = left->keys.back();
+        left->keys.pop_back();
+        node->children.insert(node->children.begin(), left->children.back());
+        left->children.pop_back();
+        return;
+      }
+      if (right && right->keys.size() > kMinFill) {
+        node->keys.push_back(parent->keys[idx]);
+        parent->keys[idx] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        node->children.push_back(right->children.front());
+        right->children.erase(right->children.begin());
+        return;
+      }
+      if (left) {
+        left->keys.push_back(parent->keys[idx - 1]);
+        left->keys.insert(left->keys.end(), node->keys.begin(),
+                          node->keys.end());
+        left->children.insert(left->children.end(), node->children.begin(),
+                              node->children.end());
+        parent->keys.erase(parent->keys.begin() + long(idx) - 1);
+        parent->children.erase(parent->children.begin() + long(idx));
+        node->children.clear();
+        delete node;
+      } else if (right) {
+        node->keys.push_back(parent->keys[idx]);
+        node->keys.insert(node->keys.end(), right->keys.begin(),
+                          right->keys.end());
+        node->children.insert(node->children.end(), right->children.begin(),
+                              right->children.end());
+        parent->keys.erase(parent->keys.begin() + long(idx));
+        parent->children.erase(parent->children.begin() + long(idx) + 1);
+        right->children.clear();
+        delete right;
+      } else {
+        return;
+      }
+      bytes_ -= std::min<size_t>(bytes_, 64);
+    }
+    node = parent;
+  }
+  // Root rules are looser (any fill >= 1), but an internal root left with a
+  // single child and no separators collapses into that child.
+  if (!root_->leaf && root_->keys.empty()) {
+    Node* child = root_->children.front();
+    root_->children.clear();
+    delete root_;
+    root_ = child;
+    bytes_ -= std::min<size_t>(bytes_, 64);
+  }
+}
+
+size_t BPlusTree::LeafCount() const {
+  const Node* n = root_;
+  while (!n->leaf) n = n->children.front();
+  size_t count = 0;
+  for (; n; n = n->next) ++count;
+  return count;
+}
+
+size_t BPlusTree::Depth() const {
+  size_t d = 1;
+  for (const Node* n = root_; !n->leaf; n = n->children.front()) ++d;
+  return d;
 }
 
 size_t BPlusTree::ScanEqual(const Value& key,

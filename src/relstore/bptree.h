@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "relstore/value.h"
@@ -26,7 +27,10 @@ class BPlusTree {
   BPlusTree& operator=(const BPlusTree&) = delete;
 
   void Insert(const Value& key, uint64_t row_id);
-  // Removes one (key, row_id) entry; returns whether it existed.
+  // Removes one (key, row_id) entry; returns whether it existed. Underfull
+  // leaves borrow from or merge with a sibling (propagating up through
+  // internal nodes, collapsing the root when it empties), so delete-heavy
+  // workloads don't leave range scans walking chains of hollow leaves.
   bool Erase(const Value& key, uint64_t row_id);
 
   // Visits row ids for exactly `key`, ascending row id; fn returns false to
@@ -42,6 +46,11 @@ class BPlusTree {
   size_t size() const { return size_; }
   size_t ApproximateBytes() const { return bytes_; }
 
+  // Structure probes for tests/diagnostics: number of chained leaves and
+  // tree height (1 = root is a leaf).
+  size_t LeafCount() const;
+  size_t Depth() const;
+
  private:
   struct Node;
   struct LeafEntry {
@@ -49,10 +58,17 @@ class BPlusTree {
     uint64_t row_id;
   };
 
+  // Descends to the leaf owning (key, row_id); when `path` is given it
+  // receives the (ancestor, child index) pairs of the descent, which the
+  // erase rebalance walks back up.
   Node* FindLeaf(const Value& key, uint64_t row_id,
-                 std::vector<Node*>* path) const;
+                 std::vector<std::pair<Node*, size_t>>* path) const;
   void SplitChild(Node* parent, size_t child_idx);
   void InsertNonFull(Node* node, const Value& key, uint64_t row_id);
+  // Restores the min-fill invariant after an erase, walking parents from
+  // the leaf toward the root. `path` holds (ancestor, child index) pairs.
+  void RebalanceAfterErase(Node* node,
+                           std::vector<std::pair<Node*, size_t>>* path);
 
   Node* root_;
   size_t size_ = 0;

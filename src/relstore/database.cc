@@ -23,26 +23,103 @@ Status Database::Open() {
     if (options_.wal_path.empty()) {
       return Status::InvalidArgument("wal_enabled requires wal_path");
     }
+    const std::string snap_path = SnapshotPath(options_.wal_path);
+    // A leftover checkpoint temp means a crash before the atomic rename:
+    // the previous snapshot (if any) + full WAL are authoritative.
+    if (env_->FileExists(snap_path + ".tmp")) {
+      env_->DeleteFile(snap_path + ".tmp").ok();
+    }
+    uint64_t snapshot_seal_seq = 0;
+    bool has_snapshot = false;
+    if (env_->FileExists(snap_path)) {
+      auto snap = env_->ReadFileToString(snap_path);
+      if (!snap.ok()) return snap.status();
+      Status s = ParseSnapshot(snap.value(), &snapshot_seal_seq);
+      if (!s.ok()) return s;
+      has_snapshot = true;
+      replay_stats_.from_snapshot = true;
+    }
     if (env_->FileExists(options_.wal_path)) {
       auto contents = env_->ReadFileToString(options_.wal_path);
       if (!contents.ok()) return contents.status();
-      const size_t valid = ParseWal(contents.value());
-      // Every sealed cell of the previous incarnation occupies >= 1 WAL
-      // byte, so starting past the log length can never reuse an AEAD
-      // (key, seq) pair.
-      seal_seq_.store(contents.value().size() + 1);
-      if (replay_stats_.truncated_tail) {
-        // Rewrite the log to the recovered prefix: appending after torn
-        // bytes would make every later record unreachable on the next
-        // replay (the parser stops at the first bad frame).
+      // A truncated WAL leads with an 'E' epoch frame; a never-checkpointed
+      // log starts straight at the first mutation (epoch 0).
+      std::string_view body(contents.value());
+      uint64_t wal_epoch = 0;
+      bool frame_intact = true;
+      if (!body.empty() && body.front() == 'E') {
+        std::string_view p = body;
+        p.remove_prefix(1);
+        if (GetVarint64(&p, &wal_epoch)) {
+          body = p;
+        } else {  // torn mid-frame: nothing after it is readable
+          frame_intact = false;
+          body = std::string_view();
+          replay_stats_.truncated_tail = true;
+        }
+      }
+      if (has_snapshot && wal_epoch != epoch_) {
+        // Pre-checkpoint WAL: the crash hit between the snapshot rename
+        // and the WAL truncate. Every byte of this log is already inside
+        // the snapshot — finish the interrupted truncation now.
         auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
         if (!f.ok()) return f.status();
         wal_ = std::move(f.value());
-        if (valid > 0) {
-          Status s = wal_->Append(contents.value().substr(0, valid));
-          if (s.ok()) s = wal_->Sync();
-          if (!s.ok()) return s;
+        std::string frame;
+        frame.push_back('E');
+        PutVarint64(&frame, epoch_);
+        Status s = wal_->Append(frame);
+        if (s.ok()) s = wal_->Sync();
+        if (!s.ok()) return s;
+        wal_file_bytes_.store(frame.size());
+      } else {
+        const size_t frame_len = size_t(body.data() - contents.value().data());
+        const size_t valid = ParseWal(body);
+        if (replay_stats_.truncated_tail) {
+          // Rewrite the log to the recovered prefix: appending after torn
+          // bytes would make every later record unreachable on the next
+          // replay (the parser stops at the first bad frame).
+          auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
+          if (!f.ok()) return f.status();
+          wal_ = std::move(f.value());
+          std::string keep =
+              frame_intact ? contents.value().substr(0, frame_len + valid)
+                           : std::string();
+          if (keep.empty() && has_snapshot) {
+            // Keep the epoch stamp or the next Open would misread the
+            // post-recovery appends as a stale pre-snapshot log.
+            keep.push_back('E');
+            PutVarint64(&keep, epoch_);
+          }
+          if (!keep.empty()) {
+            Status s = wal_->Append(keep);
+            if (s.ok()) s = wal_->Sync();
+            if (!s.ok()) return s;
+          }
+          wal_file_bytes_.store(keep.size());
+        } else {
+          wal_file_bytes_.store(contents.value().size());
         }
+      }
+      // Sealed snapshot cells carry seqs below the recorded checkpoint
+      // counter; every sealed WAL cell after it occupies >= 1 log byte.
+      // Starting above their sum can never reuse an AEAD (key, seq) pair.
+      seal_seq_.store(snapshot_seal_seq + contents.value().size() + 1);
+    } else {
+      seal_seq_.store(snapshot_seal_seq + 1);
+      if (has_snapshot) {
+        // Fresh WAL next to an existing snapshot: stamp the epoch so the
+        // tail is recognized as post-checkpoint on the next recovery.
+        auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
+        if (!f.ok()) return f.status();
+        wal_ = std::move(f.value());
+        std::string frame;
+        frame.push_back('E');
+        PutVarint64(&frame, epoch_);
+        Status s = wal_->Append(frame);
+        if (s.ok()) s = wal_->Sync();
+        if (!s.ok()) return s;
+        wal_file_bytes_.store(frame.size());
       }
     }
     if (!wal_) {
@@ -90,6 +167,28 @@ Status Database::Close() {
   return s;
 }
 
+bool Database::DecodeCells(std::string_view* in, Row* out) {
+  uint64_t ncells = 0;
+  if (!GetVarint64(in, &ncells)) return false;
+  out->reserve(out->size() + size_t(ncells));
+  for (uint64_t i = 0; i < ncells; ++i) {
+    if (in->empty()) return false;
+    const auto type = ValueType(in->front());
+    in->remove_prefix(1);
+    if (type == ValueType::kInt64) {
+      uint64_t v = 0;
+      if (!GetFixed64(in, &v)) return false;
+      out->emplace_back(int64_t(v));
+    } else {
+      std::string_view s;
+      if (!GetLengthPrefixed(in, &s)) return false;
+      out->emplace_back(type == ValueType::kNull ? Value()
+                                                 : Value(std::string(s)));
+    }
+  }
+  return true;
+}
+
 size_t Database::ParseWal(std::string_view contents) {
   std::string_view in = contents;
   while (!in.empty()) {
@@ -102,31 +201,7 @@ size_t Database::ParseWal(std::string_view contents) {
     bool ok = (op == 'I' || op == 'U' || op == 'D') &&
               GetLengthPrefixed(&in, &table);
     if (ok && (op == 'U' || op == 'D')) ok = GetVarint64(&in, &wal_op.rid);
-    if (ok && (op == 'I' || op == 'U')) {
-      uint64_t ncells = 0;
-      ok = GetVarint64(&in, &ncells);
-      for (uint64_t i = 0; ok && i < ncells; ++i) {
-        if (in.empty()) {
-          ok = false;
-          break;
-        }
-        const auto type = ValueType(in.front());
-        in.remove_prefix(1);
-        if (type == ValueType::kInt64) {
-          uint64_t v = 0;
-          ok = GetFixed64(&in, &v);
-          if (ok) wal_op.stored.emplace_back(int64_t(v));
-        } else {
-          std::string_view s;
-          ok = GetLengthPrefixed(&in, &s);
-          if (ok) {
-            wal_op.stored.emplace_back(type == ValueType::kNull
-                                           ? Value()
-                                           : Value(std::string(s)));
-          }
-        }
-      }
-    }
+    if (ok && (op == 'I' || op == 'U')) ok = DecodeCells(&in, &wal_op.stored);
     if (!ok) {
       // A crash mid-append leaves a torn last record; everything before it
       // is intact, so recover the prefix and note the truncation.
@@ -136,6 +211,71 @@ size_t Database::ParseWal(std::string_view contents) {
     pending_replay_[std::string(table)].push_back(std::move(wal_op));
   }
   return contents.size();
+}
+
+namespace {
+constexpr char kSnapshotMagic[] = "RSNP1";
+constexpr size_t kSnapshotMagicLen = 5;
+}  // namespace
+
+Status Database::ParseSnapshot(std::string_view contents, uint64_t* seal_seq) {
+  std::string_view in = contents;
+  if (in.size() < kSnapshotMagicLen ||
+      in.substr(0, kSnapshotMagicLen) != kSnapshotMagic) {
+    return Status::DataLoss("bad snapshot magic");
+  }
+  in.remove_prefix(kSnapshotMagicLen);
+  uint64_t epoch = 0, ntables = 0;
+  // Unlike the WAL, the snapshot is written whole behind an atomic rename:
+  // any parse failure here is corruption, not a torn tail.
+  if (!GetVarint64(&in, &epoch) || !GetFixed64(&in, seal_seq) ||
+      !GetVarint64(&in, &ntables)) {
+    return Status::DataLoss("truncated snapshot header");
+  }
+  for (uint64_t ti = 0; ti < ntables; ++ti) {
+    std::string_view name;
+    uint64_t nslots = 0;
+    if (!GetLengthPrefixed(&in, &name) || !GetVarint64(&in, &nslots)) {
+      return Status::DataLoss("truncated snapshot table header");
+    }
+    std::vector<std::optional<Row>> slots;
+    slots.reserve(size_t(nslots));
+    for (uint64_t si = 0; si < nslots; ++si) {
+      if (in.empty()) return Status::DataLoss("truncated snapshot slot");
+      const char flag = in.front();
+      in.remove_prefix(1);
+      if (flag == 0) {
+        // Deleted slot: kept so row ids in the WAL tail and in index
+        // leaves keep pointing at the right rows.
+        slots.emplace_back(std::nullopt);
+        continue;
+      }
+      Row stored;
+      if (!DecodeCells(&in, &stored)) {
+        return Status::DataLoss("truncated snapshot row");
+      }
+      slots.emplace_back(std::move(stored));
+    }
+    pending_snapshot_[std::string(name)] = std::move(slots);
+  }
+  epoch_ = epoch;
+  return Status::OK();
+}
+
+void Database::ApplySnapshot(Table* t, std::vector<std::optional<Row>> slots) {
+  for (auto& slot : slots) {
+    if (slot && slot->size() != t->schema().num_columns()) {
+      // Schema drift: unusable row, but the slot must survive so later
+      // rids don't shift (same rule as WAL replay).
+      slot.reset();
+    }
+    if (slot) {
+      for (const Value& v : *slot) t->row_bytes_ += v.ByteSize();
+      ++t->live_rows_;
+      ++replay_stats_.snapshot_rows;
+    }
+    t->slots_.emplace_back(std::move(slot));
+  }
 }
 
 void Database::ApplyReplay(Table* t, std::vector<WalOp> ops) {
@@ -185,6 +325,13 @@ StatusOr<Table*> Database::CreateTable(const std::string& name,
   auto [it, inserted] =
       tables_.emplace(name, std::make_unique<Table>(name, std::move(schema)));
   if (!inserted) return Status::AlreadyExists("table " + name);
+  // Snapshot rows first, then the WAL tail on top — replay order must
+  // match write order or rids reconstruct wrong.
+  auto snap = pending_snapshot_.find(name);
+  if (snap != pending_snapshot_.end()) {
+    ApplySnapshot(it->second.get(), std::move(snap->second));
+    pending_snapshot_.erase(snap);
+  }
   auto pending = pending_replay_.find(name);
   if (pending != pending_replay_.end()) {
     ApplyReplay(it->second.get(), std::move(pending->second));
@@ -255,6 +402,8 @@ Status Database::Insert(Table* t, Row row) {
   if (row.size() != t->schema().num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
   }
+  Status healthy = WalHealthy();
+  if (!healthy.ok()) return healthy;
   Row stored;
   stored.reserve(row.size());
   size_t bytes = 0;
@@ -265,9 +414,10 @@ Status Database::Insert(Table* t, Row row) {
   // The WAL carries the stored (possibly sealed) cells: with encryption on,
   // personal data must not reach disk in plaintext. Length-prefixed binary
   // framing — sealed cells contain arbitrary bytes, so a text format would
-  // be unparseable on replay.
+  // be unparseable on replay. Gate on the option, not the handle: wal_ is
+  // swapped by Checkpoint under wal_mu_, which this thread does not hold.
   std::string wal_line;
-  if (wal_) {
+  if (options_.wal_enabled) {
     wal_line.push_back('I');
     PutLengthPrefixed(&wal_line, t->name());
     EncodeCells(&wal_line, stored);
@@ -396,6 +546,8 @@ Status Database::ScanRows(Table* t,
 StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
                                   const std::function<void(Row*)>& mutate) {
   if (!t) return Status::InvalidArgument("null table");
+  Status healthy = WalHealthy();
+  if (!healthy.ok()) return healthy;
   size_t updated = 0;
   std::string wal_blob;
   {
@@ -424,7 +576,7 @@ StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
         stored.push_back(EncodeCell(v));
         bytes += stored.back().ByteSize();
       }
-      if (wal_) {
+      if (options_.wal_enabled) {
         wal_blob.push_back('U');
         PutLengthPrefixed(&wal_blob, t->name());
         PutVarint64(&wal_blob, rid);
@@ -451,6 +603,8 @@ StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
 
 StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
   if (!t) return Status::InvalidArgument("null table");
+  Status healthy = WalHealthy();
+  if (!healthy.ok()) return healthy;
   size_t deleted = 0;
   std::string wal_blob;
   {
@@ -465,7 +619,7 @@ StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
       slot.reset();
       --t->live_rows_;
       ++deleted;
-      if (wal_) {
+      if (options_.wal_enabled) {
         wal_blob.push_back('D');
         PutLengthPrefixed(&wal_blob, t->name());
         PutVarint64(&wal_blob, rid);
@@ -486,6 +640,8 @@ StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
 StatusOr<size_t> Database::DeleteWhere(
     Table* t, const std::function<bool(const Row&)>& pred) {
   if (!t) return Status::InvalidArgument("null table");
+  Status healthy = WalHealthy();
+  if (!healthy.ok()) return healthy;
   size_t deleted = 0;
   std::string wal_blob;
   {
@@ -501,7 +657,7 @@ StatusOr<size_t> Database::DeleteWhere(
       slot.reset();
       --t->live_rows_;
       ++deleted;
-      if (wal_) {
+      if (options_.wal_enabled) {
         wal_blob.push_back('D');
         PutLengthPrefixed(&wal_blob, t->name());
         PutVarint64(&wal_blob, rid);
@@ -547,10 +703,147 @@ Status Database::AppendWithPolicy(WritableFile* f, const std::string& text,
   return Status::OK();
 }
 
+Status Database::WalHealthy() {
+  std::lock_guard<std::mutex> l(wal_mu_);
+  if (wal_failed_) {
+    return Status::IOError("wal offline after failed checkpoint");
+  }
+  return Status::OK();
+}
+
 Status Database::WalAppend(const std::string& text) {
   std::lock_guard<std::mutex> l(wal_mu_);
+  if (wal_failed_) {
+    return Status::IOError("wal offline after failed checkpoint");
+  }
   if (!wal_) return Status::OK();
-  return AppendWithPolicy(wal_.get(), text, &wal_last_sync_);
+  Status s = AppendWithPolicy(wal_.get(), text, &wal_last_sync_);
+  if (s.ok()) wal_file_bytes_.fetch_add(text.size());
+  return s;
+}
+
+Status Database::Checkpoint() {
+  if (!options_.wal_enabled) return Status::OK();  // nothing on disk to bound
+  std::lock_guard<std::mutex> ck(checkpoint_mu_);
+  std::lock_guard<std::mutex> tl(tables_mu_);
+  if (!open_) return Status::FailedPrecondition("database not open");
+  if (!pending_replay_.empty() || !pending_snapshot_.empty()) {
+    // Recovered rows still waiting for their CreateTable would not make it
+    // into the snapshot, and the WAL truncation would destroy the only
+    // copy. Refuse rather than silently drop another table's data.
+    return Status::FailedPrecondition(
+        "checkpoint with unclaimed replay state: create all logged tables "
+        "before compacting");
+  }
+  checkpoint_starts_.fetch_add(1);
+  // Freeze writers, not readers: mutators take their table lock exclusive
+  // and append to the WAL under it, so holding every table lock SHARED is
+  // enough to stop the log from advancing while the snapshot is cut —
+  // Selects and point reads proceed throughout. (Lock order tables_mu_ ->
+  // table -> wal matches every writer.)
+  std::vector<std::shared_lock<std::shared_mutex>> frozen;
+  frozen.reserve(tables_.size());
+  for (auto& [name, t] : tables_) frozen.emplace_back(t->mu_);
+  const uint64_t next_epoch = epoch_ + 1;
+  const std::string snap_path = SnapshotPath(options_.wal_path);
+  const std::string tmp_path = snap_path + ".tmp";
+  auto tmp = env_->NewWritableFile(tmp_path, /*truncate=*/true);
+  if (!tmp.ok()) return tmp.status();
+  // Stream one table at a time: the transient buffer stays bounded by the
+  // largest table instead of doubling the whole database in memory.
+  uint64_t snapshot_bytes = 0;
+  std::string blob;
+  blob.append(kSnapshotMagic, kSnapshotMagicLen);
+  PutVarint64(&blob, next_epoch);
+  PutFixed64(&blob, seal_seq_.load());
+  PutVarint64(&blob, tables_.size());
+  Status s = tmp.value()->Append(blob);
+  snapshot_bytes += blob.size();
+  for (auto& [name, t] : tables_) {
+    if (!s.ok()) break;
+    blob.clear();
+    PutLengthPrefixed(&blob, name);
+    PutVarint64(&blob, t->slots_.size());
+    for (const auto& slot : t->slots_) {
+      if (!slot) {
+        blob.push_back(char(0));
+        continue;
+      }
+      blob.push_back(char(1));
+      // Stored (possibly sealed) cells go to disk verbatim — the snapshot
+      // never holds personal data in plaintext when encryption is on.
+      EncodeCells(&blob, *slot);
+    }
+    s = tmp.value()->Append(blob);
+    snapshot_bytes += blob.size();
+  }
+  if (s.ok()) s = tmp.value()->Sync();
+  if (s.ok()) s = tmp.value()->Close();
+  if (!s.ok()) {
+    env_->DeleteFile(tmp_path).ok();
+    return s;
+  }
+  // Commit point. A crash before this rename leaves the old snapshot +
+  // full WAL; after it, the new snapshot makes the old WAL redundant
+  // (recovery drops an epoch-mismatched log).
+  s = env_->RenameFile(tmp_path, snap_path);
+  if (!s.ok()) {
+    env_->DeleteFile(tmp_path).ok();
+    return s;
+  }
+  const uint64_t wal_before = wal_file_bytes_.load();
+  {
+    std::lock_guard<std::mutex> wl(wal_mu_);
+    if (wal_) {
+      wal_->Flush().ok();
+      wal_->Close().ok();
+      wal_.reset();
+    }
+    auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
+    if (!f.ok()) {
+      // The snapshot committed but the WAL could not be re-established.
+      // Writes from here on would either be lost silently (no handle) or
+      // discarded on the next recovery (no epoch stamp), so take the WAL
+      // offline loudly: every later mutation fails instead of lying.
+      wal_failed_ = true;
+      return f.status();
+    }
+    wal_ = std::move(f.value());
+    std::string frame;
+    frame.push_back('E');
+    PutVarint64(&frame, next_epoch);
+    s = wal_->Append(frame);
+    if (s.ok()) s = wal_->Sync();
+    if (!s.ok()) {
+      // An unstamped WAL would be classified as pre-checkpoint on the
+      // next Open and dropped wholesale. Refuse to write into it.
+      wal_.reset();
+      wal_failed_ = true;
+      return s;
+    }
+    wal_file_bytes_.store(frame.size());
+    // A freshly stamped, healthy WAL is exactly the recovery a previous
+    // failed checkpoint was waiting for: re-open the write path.
+    wal_failed_ = false;
+  }
+  epoch_ = next_epoch;
+  checkpoints_.fetch_add(1);
+  last_ckpt_wal_before_.store(wal_before);
+  last_ckpt_wal_after_.store(wal_file_bytes_.load());
+  last_ckpt_snapshot_bytes_.store(snapshot_bytes);
+  last_ckpt_micros_.store(RealClock::Default()->NowMicros());
+  return Status::OK();
+}
+
+CheckpointStats Database::GetCheckpointStats() const {
+  CheckpointStats s;
+  s.checkpoints = checkpoints_.load();
+  s.wal_bytes = wal_file_bytes_.load();
+  s.last_wal_bytes_before = last_ckpt_wal_before_.load();
+  s.last_wal_bytes_after = last_ckpt_wal_after_.load();
+  s.last_snapshot_bytes = last_ckpt_snapshot_bytes_.load();
+  s.last_checkpoint_micros = last_ckpt_micros_.load();
+  return s;
 }
 
 Status Database::LogStatement(const std::string& text) {

@@ -12,12 +12,23 @@
 //   'I' <table> <ncells> <cells>          insert (row id = arrival order)
 //   'U' <table> <rid> <ncells> <cells>    full new row image for rid
 //   'D' <table> <rid>                     delete of rid
+//   'E' <epoch>                           checkpoint stamp (first record
+//                                         after a WAL truncation)
 // Open() parses the log up front (a torn tail from a crash truncates the
 // replay cleanly) and CreateTable applies the queued ops for that table, so
 // row ids reconstruct exactly and index backfill sees the replayed rows.
+//
+// Checkpoint() bounds the log: it serializes every table heap (stored
+// cells, deleted slots included so row ids stay stable) to
+// <wal_path>.snapshot via write-temp + atomic rename, then truncates the
+// WAL and stamps it with the snapshot's epoch. Recovery = snapshot load +
+// WAL tail; an epoch mismatch (crash between the snapshot rename and the
+// WAL truncate) marks the whole WAL as pre-snapshot and it is dropped —
+// its every byte is already inside the snapshot.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -118,12 +129,25 @@ class Table {
   std::map<size_t, std::unique_ptr<BPlusTree>> indexes_;  // by column
 };
 
-// What WAL replay recovered on Open (observability + tests).
+// What recovery restored on Open (observability + tests).
 struct ReplayStats {
   size_t inserts = 0;
   size_t updates = 0;
   size_t deletes = 0;
+  size_t snapshot_rows = 0;     // live rows loaded from the checkpoint
+  bool from_snapshot = false;   // a checkpoint snapshot was loaded
   bool truncated_tail = false;  // log ended mid-record (torn write)
+};
+
+// Observability for the checkpoint path (surfaced through the GDPR layer
+// as gdpr::CompactionStats).
+struct CheckpointStats {
+  uint64_t checkpoints = 0;           // completed Checkpoint() passes
+  uint64_t wal_bytes = 0;             // current WAL length
+  uint64_t last_wal_bytes_before = 0; // WAL length entering the last pass
+  uint64_t last_wal_bytes_after = 0;  // ... and leaving it (epoch frame)
+  uint64_t last_snapshot_bytes = 0;   // snapshot written by the last pass
+  int64_t last_checkpoint_micros = 0;
 };
 
 class Database {
@@ -164,6 +188,21 @@ class Database {
 
   const ReplayStats& replay_stats() const { return replay_stats_; }
 
+  // Serializes every table heap to <wal_path>.snapshot (temp + atomic
+  // rename) and truncates the WAL. Writers are frozen for the duration
+  // (mutations append to the WAL under table locks, which Checkpoint
+  // holds). No-op success when the WAL is disabled.
+  Status Checkpoint();
+  uint64_t WalBytes() const { return wal_file_bytes_.load(); }
+  CheckpointStats GetCheckpointStats() const;
+  // Checkpoint passes *started* (>= GetCheckpointStats().checkpoints).
+  // Lets ErasureBarrier decide which erasures a completed pass covered.
+  uint64_t CheckpointStarts() const { return checkpoint_starts_.load(); }
+
+  static std::string SnapshotPath(const std::string& wal_path) {
+    return wal_path + ".snapshot";
+  }
+
  private:
   // One parsed WAL mutation awaiting its table.
   struct WalOp {
@@ -175,10 +214,15 @@ class Database {
   // Parses the whole log into pending_replay_; stops at a torn tail.
   // Returns the byte length of the valid prefix.
   size_t ParseWal(std::string_view contents);
+  // Parses a checkpoint snapshot into pending_snapshot_ + epoch_; fills
+  // *seal_seq with the seal counter recorded at checkpoint time.
+  Status ParseSnapshot(std::string_view contents, uint64_t* seal_seq);
   // Applies queued ops for a freshly created table (no locks needed: the
   // table is not yet visible to other threads).
   void ApplyReplay(Table* t, std::vector<WalOp> ops);
+  void ApplySnapshot(Table* t, std::vector<std::optional<Row>> slots);
   static void EncodeCells(std::string* dst, const Row& stored);
+  static bool DecodeCells(std::string_view* in, Row* out);
   // Collects matching row ids under the table's lock (shared).
   std::vector<uint64_t> MatchRowIds(Table* t, const Predicate& pred,
                                     size_t limit) const;
@@ -187,6 +231,9 @@ class Database {
 
   Status LogStatement(const std::string& text);
   Status WalAppend(const std::string& text);
+  // Pre-mutation gate: mutators apply to memory before their WAL append,
+  // so an offline WAL must reject the op up front, not after the fact.
+  Status WalHealthy();
   Status AppendWithPolicy(WritableFile* f, const std::string& text,
                           int64_t* last_sync);
 
@@ -200,10 +247,27 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
 
   std::map<std::string, std::vector<WalOp>> pending_replay_;
+  std::map<std::string, std::vector<std::optional<Row>>> pending_snapshot_;
   ReplayStats replay_stats_;
+
+  // Checkpoint epoch: bumped on every Checkpoint(), stamped into both the
+  // snapshot header and the truncated WAL's leading 'E' frame so recovery
+  // can tell a post-checkpoint WAL tail from a stale pre-checkpoint log.
+  uint64_t epoch_ = 0;
+  std::mutex checkpoint_mu_;
+  std::atomic<uint64_t> wal_file_bytes_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> checkpoint_starts_{0};
+  std::atomic<uint64_t> last_ckpt_wal_before_{0};
+  std::atomic<uint64_t> last_ckpt_wal_after_{0};
+  std::atomic<uint64_t> last_ckpt_snapshot_bytes_{0};
+  std::atomic<int64_t> last_ckpt_micros_{0};
 
   std::mutex wal_mu_;
   std::unique_ptr<WritableFile> wal_;
+  // Set when a checkpoint committed its snapshot but could not re-establish
+  // a stamped WAL: appends must fail loudly, not vanish. Guarded by wal_mu_.
+  bool wal_failed_ = false;
   int64_t wal_last_sync_ = 0;
   std::mutex stmt_mu_;
   std::unique_ptr<WritableFile> stmt_log_;

@@ -79,6 +79,13 @@ class PosixEnv : public Env {
     struct stat st;
     return stat(path.c_str(), &st) == 0;
   }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(from + " -> " + to + ": " + strerror(errno));
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace
@@ -133,6 +140,15 @@ Status MemEnv::DeleteFile(const std::string& path) {
 bool MemEnv::FileExists(const std::string& path) {
   std::lock_guard<std::mutex> l(mu_);
   return files_.count(path) != 0;
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound(from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
 }
 
 }  // namespace gdpr

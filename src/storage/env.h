@@ -36,6 +36,9 @@ class Env {
   virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
   virtual Status DeleteFile(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
+  // Atomically replaces `to` with `from` (the compaction commit point: a
+  // crash leaves either the old file or the new one, never a mix).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
 
   static Env* Posix();
 };
@@ -48,6 +51,7 @@ class MemEnv : public Env {
   StatusOr<std::string> ReadFileToString(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
 
  private:
   friend class MemWritableFile;

@@ -99,6 +99,90 @@ TEST(BPlusTree, MatchesReferenceUnderChurn) {
   }
 }
 
+TEST(BPlusTree, HeavyDeleteRebalancesLeaves) {
+  BPlusTree tree;
+  constexpr int64_t kN = 20000;
+  for (int64_t i = 0; i < kN; ++i) tree.Insert(Value(i), uint64_t(i) + 1);
+  const size_t leaves_full = tree.LeafCount();
+  // Delete 95%, keeping every 20th key.
+  for (int64_t i = 0; i < kN; ++i) {
+    if (i % 20 != 0) {
+      ASSERT_TRUE(tree.Erase(Value(i), uint64_t(i) + 1));
+    }
+  }
+  EXPECT_EQ(tree.size(), size_t(kN / 20));
+  // Merge/borrow must keep leaves at least half full (root excepted): the
+  // survivor count bounds the leaf count. Pre-fix this walked ~all of the
+  // original leaves, most of them hollow.
+  const size_t max_leaves = (tree.size() + 31) / 32 + 1;  // kOrder/2 = 32
+  EXPECT_LE(tree.LeafCount(), max_leaves);
+  EXPECT_LT(tree.LeafCount(), leaves_full / 4);
+  // Range scans after heavy deletion see exactly the survivors, in order.
+  std::vector<int64_t> keys;
+  tree.ScanRange(Value(), nullptr, [&](const Value& k, uint64_t) {
+    keys.push_back(k.AsInt64());
+    return true;
+  });
+  ASSERT_EQ(keys.size(), size_t(kN / 20));
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(keys[i], int64_t(i) * 20);
+}
+
+TEST(BPlusTree, DeleteAllCollapsesToEmptyRootThenReinserts) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 5000; ++i) tree.Insert(Value(i), uint64_t(i) + 1);
+  EXPECT_GT(tree.Depth(), 1u);
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Erase(Value(i), uint64_t(i) + 1));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_EQ(tree.Depth(), 1u);  // root collapsed back to a leaf
+  // Byte accounting must drain with the tree, not wrap below zero.
+  EXPECT_LT(tree.ApproximateBytes(), 1024u);
+  // The tree keeps working after full drain.
+  for (int64_t i = 0; i < 1000; ++i) tree.Insert(Value(i), uint64_t(i) + 1);
+  size_t n = tree.ScanRange(Value(), nullptr,
+                            [](const Value&, uint64_t) { return true; });
+  EXPECT_EQ(n, 1000u);
+}
+
+TEST(BPlusTree, ChurnKeepsLeavesCompact) {
+  // Random interleaved insert/delete (the MatchesReferenceUnderChurn
+  // workload) must not accumulate hollow leaves over time.
+  BPlusTree tree;
+  std::multimap<int64_t, uint64_t> reference;
+  Random rng(7);
+  uint64_t next_rid = 1;
+  for (int step = 0; step < 30000; ++step) {
+    const int64_t key = int64_t(rng.Uniform(500));
+    // Insert-heavy first third, delete-heavy afterwards.
+    const bool insert = step < 10000 ? rng.Uniform(3) != 0
+                                     : (rng.Uniform(3) == 0 ||
+                                        reference.empty());
+    if (insert) {
+      tree.Insert(Value(key), next_rid);
+      reference.emplace(key, next_rid);
+      ++next_rid;
+    } else {
+      auto it = reference.lower_bound(key);
+      if (it == reference.end()) it = reference.begin();
+      ASSERT_TRUE(tree.Erase(Value(it->first), it->second));
+      reference.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  if (!reference.empty()) {
+    EXPECT_LE(tree.LeafCount(), (tree.size() + 31) / 32 + 1);
+  }
+  std::multiset<std::pair<int64_t, uint64_t>> expect, got;
+  for (const auto& [k, r] : reference) expect.emplace(k, r);
+  tree.ScanRange(Value(), nullptr, [&](const Value& k, uint64_t rid) {
+    got.emplace(k.AsInt64(), rid);
+    return true;
+  });
+  EXPECT_EQ(got, expect);
+}
+
 TEST(BPlusTree, MixedTypesOrder) {
   // Null < int64 < string per Value::Compare; a full-range scan sees them
   // in that order.
