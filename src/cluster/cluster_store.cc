@@ -269,6 +269,7 @@ Status ClusterGdprStore::ScanRecords(
     const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
   bool stop = false;
+  Status first_error = Status::OK();
   for (auto& node : nodes_) {
     Status s = node->ScanRecords(actor, [&](const GdprRecord& rec) {
       if (!fn(rec)) {
@@ -277,10 +278,19 @@ Status ClusterGdprStore::ScanRecords(
       }
       return true;
     });
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // DataLoss on one node means that node's corrupt records — not the
+      // other nodes' healthy ones. Keep scanning so the callback sees
+      // every readable record cluster-wide, then surface the first error.
+      if (s.IsDataLoss() && !stop) {
+        if (first_error.ok()) first_error = s;
+        continue;
+      }
+      return s;
+    }
     if (stop) break;
   }
-  return Status::OK();
+  return first_error;
 }
 
 size_t ClusterGdprStore::RecordCount() {
@@ -358,7 +368,17 @@ Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
     const auto in_slot = [this, slot](const std::string& key) {
       return slot_map_.SlotOf(key) == slot;
     };
-    const std::vector<GdprRecord> records = src->ExportRecords(in_slot);
+    auto exported = src->ExportRecords(in_slot);
+    if (!exported.ok()) {
+      // An unreadable record on the source: migrating would silently drop
+      // it from the destination copy. Leave the slot where it is.
+      AuditCluster(Actor::Controller(), ops::kMoveSlots,
+                   StringPrintf("slot %u -> node %u (export failed)", slot,
+                                dst_node),
+                   false);
+      return exported.status();
+    }
+    const std::vector<GdprRecord>& records = exported.value();
     // Undoes a partial copy on the destination; ownership never flipped.
     // A rollback that itself fails (e.g. dst's AOF went offline) leaves
     // the slot double-resident — escalate, don't pretend it's clean.

@@ -5,7 +5,10 @@
 // GdprStore runs unmodified against a cluster.
 //
 //   * Point ops (create / read / update / delete / verify by key) route by
-//     key slot under a per-slot read fence.
+//     key slot under a per-slot read fence. A routed point read costs the
+//     fence's shared acquire plus the node's epoch-protected lock-free
+//     MemKV Get — no shard lock anywhere on the path, so per-node read
+//     throughput scales with reader threads (bench_get_scale).
 //   * Metadata queries (by user / purpose / sharing) and GDPR broadcasts
 //     (user erasure, TTL sweep, log pulls) scatter over a worker pool and
 //     gather: per-node results are merged and deduped by key.

@@ -67,6 +67,7 @@ class Status {
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   std::string ToString() const {
     if (ok()) return "OK";

@@ -25,11 +25,20 @@ Status KvGdprStore::Open() {
     // AOF replay restored records below us; rebuild the secondary indexes
     // (including entries for expired-but-unreclaimed records, so erasure
     // and upserts can still unindex them).
-    db_->Scan([this](const std::string&, const std::string& value) {
-      auto rec = GdprRecord::Parse(value);
-      if (rec.ok()) IndexAdd(rec.value());
-      return true;
-    });
+    size_t parse_failures = 0;
+    const size_t decrypt_failures =
+        db_->Scan([&](const std::string&, const std::string& value) {
+          auto rec = GdprRecord::Parse(value);
+          if (rec.ok()) IndexAdd(rec.value());
+          else ++parse_failures;
+          return true;
+        });
+    // A record that would not decrypt or parse is resident but in NO
+    // index: every indexed collection would silently miss it. Open stays
+    // permissive (the operator needs a live store to remediate), but the
+    // count poisons indexed collections with DataLoss until the store is
+    // reset or reopened clean — the same honesty the scan paths have.
+    index_unreadable_records_ = decrypt_failures + parse_failures;
   }
   return Status::OK();
 }
@@ -190,7 +199,7 @@ StatusOr<GdprMetadata> KvGdprStore::ReadMetadataByKey(const Actor& actor,
 std::vector<GdprRecord> KvGdprStore::CollectByIndex(
     const std::unordered_map<std::string, std::unordered_set<std::string>>&
         index,
-    const std::string& value, bool include_expired) {
+    const std::string& value, bool include_expired, size_t* read_failures) {
   std::vector<std::string> keys;
   {
     std::shared_lock<std::shared_mutex> l(idx_mu_);
@@ -199,28 +208,51 @@ std::vector<GdprRecord> KvGdprStore::CollectByIndex(
   }
   std::vector<GdprRecord> out;
   out.reserve(keys.size());
+  if (read_failures) *read_failures += index_unreadable_records_;
   for (const auto& k : keys) {
     auto rec = include_expired ? GetRecordRaw(k) : GetRecord(k);
-    if (rec.ok()) out.push_back(std::move(rec.value()));
+    if (rec.ok()) {
+      out.push_back(std::move(rec.value()));
+    } else if (!rec.status().IsNotFound() && read_failures) {
+      // NotFound is normal (expired, or erased since the index probe);
+      // anything else means the record exists but cannot be read back.
+      ++*read_failures;
+    }
   }
   return out;
 }
 
 std::vector<GdprRecord> KvGdprStore::CollectByScan(
-    const std::function<bool(const GdprRecord&)>& match, bool include_expired) {
+    const std::function<bool(const GdprRecord&)>& match, bool include_expired,
+    size_t* read_failures) {
   // The O(n) path the paper measures: walk every key, parse, filter.
   std::vector<GdprRecord> out;
-  db_->Scan([&](const std::string&, const std::string& value) {
-    auto rec = GdprRecord::Parse(value);
-    if (rec.ok() && match(rec.value())) {
-      const int64_t expiry = rec.value().metadata.expiry_micros;
-      if (include_expired || expiry == 0 || expiry > NowMicros()) {
-        out.push_back(std::move(rec.value()));
-      }
-    }
-    return true;
-  });
+  size_t parse_failures = 0;
+  const size_t decrypt_failures =
+      db_->Scan([&](const std::string&, const std::string& value) {
+        auto rec = GdprRecord::Parse(value);
+        if (!rec.ok()) {
+          // Corruption with encryption off surfaces here, not as a
+          // decrypt failure — count it the same way.
+          ++parse_failures;
+          return true;
+        }
+        if (match(rec.value())) {
+          const int64_t expiry = rec.value().metadata.expiry_micros;
+          if (include_expired || expiry == 0 || expiry > NowMicros()) {
+            out.push_back(std::move(rec.value()));
+          }
+        }
+        return true;
+      });
+  if (read_failures) *read_failures += decrypt_failures + parse_failures;
   return out;
+}
+
+Status KvGdprStore::CollectionStatus(size_t read_failures) {
+  if (read_failures == 0) return Status::OK();
+  return Status::DataLoss(std::to_string(read_failures) +
+                          " record(s) failed at-rest decryption");
 }
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
@@ -231,11 +263,14 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
   }
   Audit(actor, ops::kReadMetaUser, user, access.ok());
   if (!access.ok()) return access;
+  size_t read_failures = 0;
   std::vector<GdprRecord> recs =
-      indexing() ? CollectByIndex(by_user_, user)
+      indexing() ? CollectByIndex(by_user_, user, false, &read_failures)
                  : CollectByScan([&](const GdprRecord& r) {
                      return r.metadata.user == user;
-                   });
+                   }, false, &read_failures);
+  Status health = CollectionStatus(read_failures);
+  if (!health.ok()) return health;
   for (auto& r : recs) r.data.clear();
   return recs;
 }
@@ -249,11 +284,14 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByPurpose(
   }
   Audit(actor, ops::kReadMetaPurpose, purpose, access.ok());
   if (!access.ok()) return access;
+  size_t read_failures = 0;
   std::vector<GdprRecord> recs =
-      indexing() ? CollectByIndex(by_purpose_, purpose)
+      indexing() ? CollectByIndex(by_purpose_, purpose, false, &read_failures)
                  : CollectByScan([&](const GdprRecord& r) {
                      return r.metadata.HasPurpose(purpose);
-                   });
+                   }, false, &read_failures);
+  Status health = CollectionStatus(read_failures);
+  if (!health.ok()) return health;
   for (auto& r : recs) r.data.clear();
   return recs;
 }
@@ -263,11 +301,15 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataBySharing(
   Status access = CheckAccess(actor, ops::kReadMetaSharing, nullptr);
   Audit(actor, ops::kReadMetaSharing, third_party, access.ok());
   if (!access.ok()) return access;
+  size_t read_failures = 0;
   std::vector<GdprRecord> recs =
-      indexing() ? CollectByIndex(by_sharing_, third_party)
-                 : CollectByScan([&](const GdprRecord& r) {
-                     return r.metadata.SharedWith(third_party);
-                   });
+      indexing()
+          ? CollectByIndex(by_sharing_, third_party, false, &read_failures)
+          : CollectByScan([&](const GdprRecord& r) {
+              return r.metadata.SharedWith(third_party);
+            }, false, &read_failures);
+  Status health = CollectionStatus(read_failures);
+  if (!health.ok()) return health;
   for (auto& r : recs) r.data.clear();
   return recs;
 }
@@ -285,10 +327,15 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadRecordsByUser(
   }
   Audit(actor, ops::kReadRecordsUser, user, access.ok());
   if (!access.ok()) return access;
-  return indexing() ? CollectByIndex(by_user_, user)
-                    : CollectByScan([&](const GdprRecord& r) {
-                        return r.metadata.user == user;
-                      });
+  size_t read_failures = 0;
+  std::vector<GdprRecord> recs =
+      indexing() ? CollectByIndex(by_user_, user, false, &read_failures)
+                 : CollectByScan([&](const GdprRecord& r) {
+                     return r.metadata.user == user;
+                   }, false, &read_failures);
+  Status health = CollectionStatus(read_failures);
+  if (!health.ok()) return health;
+  return recs;
 }
 
 Status KvGdprStore::UpdateMetadataByKey(const Actor& actor,
@@ -372,9 +419,12 @@ StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
   auto match_user = [&](const GdprRecord& r) {
     return r.metadata.user == user;
   };
+  size_t read_failures = 0;
   std::vector<GdprRecord> victims =
-      indexing() ? CollectByIndex(by_user_, user, /*include_expired=*/true)
-                 : CollectByScan(match_user, /*include_expired=*/true);
+      indexing() ? CollectByIndex(by_user_, user, /*include_expired=*/true,
+                                  &read_failures)
+                 : CollectByScan(match_user, /*include_expired=*/true,
+                                 &read_failures);
   size_t erased = 0;
   for (const auto& rec : victims) {
     std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
@@ -390,7 +440,11 @@ StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
     }
     ++erased;
   }
-  Audit(actor, ops::kDeleteUser, user, true);
+  // An unreadable record may belong to this user: the readable ones are
+  // gone, but claiming complete erasure would be false.
+  Status health = CollectionStatus(read_failures);
+  Audit(actor, ops::kDeleteUser, user, health.ok());
+  if (!health.ok()) return health;
   return erased;
 }
 
@@ -403,6 +457,13 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
   const int64_t now = NowMicros();
   size_t reclaimed = 0;
   if (indexing()) {
+    // An unreadable record never made it into the TTL heap; its expiry is
+    // unknowable and this sweep cannot honestly claim completeness.
+    Status health = CollectionStatus(index_unreadable_records_);
+    if (!health.ok()) {
+      Audit(actor, ops::kDeleteExpired, "", false);
+      return health;
+    }
     // O(expired): drain the TTL heap, skipping stale entries.
     for (;;) {
       std::string key;
@@ -416,7 +477,12 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
       }
       std::lock_guard<std::mutex> key_lock(KeyMutex(key));
       auto rec = GetRecordRaw(key);
-      if (!rec.ok()) continue;
+      if (!rec.ok()) {
+        if (rec.status().IsNotFound()) continue;  // already reclaimed
+        // Resident but unreadable: this sweep cannot honestly claim it.
+        Audit(actor, ops::kDeleteExpired, "", false);
+        return rec.status();
+      }
       // TTL rewritten since this heap entry was pushed -> a newer entry
       // covers it.
       if (rec.value().metadata.expiry_micros != expiry) continue;
@@ -430,14 +496,28 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
   } else {
     // O(n) sweep: parse every record to find the dead ones.
     std::vector<GdprRecord> dead;
-    db_->Scan([&](const std::string&, const std::string& value) {
-      auto rec = GdprRecord::Parse(value);
-      if (rec.ok() && rec.value().metadata.expiry_micros != 0 &&
-          rec.value().metadata.expiry_micros <= now) {
-        dead.push_back(std::move(rec.value()));
-      }
-      return true;
-    });
+    size_t parse_failures = 0;
+    const size_t decrypt_failures =
+        db_->Scan([&](const std::string&, const std::string& value) {
+          auto rec = GdprRecord::Parse(value);
+          if (!rec.ok()) {
+            ++parse_failures;
+            return true;
+          }
+          if (rec.value().metadata.expiry_micros != 0 &&
+              rec.value().metadata.expiry_micros <= now) {
+            dead.push_back(std::move(rec.value()));
+          }
+          return true;
+        });
+    // An unreadable record's TTL is unknowable — it may be expired data
+    // this sweep is obligated to reclaim. Fail loudly before claiming a
+    // clean sweep.
+    Status health = CollectionStatus(decrypt_failures + parse_failures);
+    if (!health.ok()) {
+      Audit(actor, ops::kDeleteExpired, "", false);
+      return health;
+    }
     reclaimed = 0;
     for (const auto& rec : dead) {
       std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
@@ -497,24 +577,39 @@ Status KvGdprStore::ScanRecords(
   }
   Audit(actor, ops::kScanRecords, "", access.ok());
   if (!access.ok()) return access;
-  db_->Scan([&](const std::string&, const std::string& value) {
-    auto rec = GdprRecord::Parse(value);
-    if (!rec.ok()) return true;
-    return fn(rec.value());
-  });
-  return Status::OK();
+  size_t parse_failures = 0;
+  const size_t decrypt_failures =
+      db_->Scan([&](const std::string&, const std::string& value) {
+        auto rec = GdprRecord::Parse(value);
+        if (!rec.ok()) {
+          ++parse_failures;
+          return true;
+        }
+        return fn(rec.value());
+      });
+  // At-rest corruption: the skipped records are personal data this store
+  // can no longer produce — that is a compliance incident, not a detail
+  // to swallow. The callback already saw every healthy record.
+  return CollectionStatus(decrypt_failures + parse_failures);
 }
 
-std::vector<GdprRecord> KvGdprStore::ExportRecords(
+StatusOr<std::vector<GdprRecord>> KvGdprStore::ExportRecords(
     const std::function<bool(const std::string&)>& key_pred) {
   std::vector<GdprRecord> out;
-  db_->Scan([&](const std::string& key, const std::string& value) {
-    if (key_pred(key)) {
-      auto rec = GdprRecord::Parse(value);
-      if (rec.ok()) out.push_back(std::move(rec.value()));
-    }
-    return true;
-  });
+  size_t parse_failures = 0;
+  const size_t decrypt_failures =
+      db_->Scan([&](const std::string& key, const std::string& value) {
+        if (key_pred(key)) {
+          auto rec = GdprRecord::Parse(value);
+          if (rec.ok()) out.push_back(std::move(rec.value()));
+          else ++parse_failures;
+        }
+        return true;
+      });
+  // A partial export would migrate a slot minus its unreadable records —
+  // the copy would silently drop data the source still legally holds.
+  Status health = CollectionStatus(decrypt_failures + parse_failures);
+  if (!health.ok()) return health;
   return out;
 }
 
@@ -571,6 +666,7 @@ Status KvGdprStore::Reset() {
     while (!ttl_heap_.empty()) ttl_heap_.pop();
     index_bytes_ = 0;
   }
+  index_unreadable_records_ = 0;  // nothing resident, nothing unreadable
   return Status::OK();  // db_->Clear() dropped the tombstones too
 }
 

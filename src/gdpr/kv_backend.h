@@ -7,6 +7,13 @@
 // store maintains secondary indexes (user -> keys, purpose -> keys,
 // sharing -> keys, and a TTL min-heap), turning those same queries into
 // indexed lookups; bench_index_fastpath measures the gap.
+//
+// Read fast path: every record fetch here bottoms out in MemKV's
+// epoch-protected lock-free Get — point reads (ReadDataByKey /
+// ReadMetadataByKey) and the per-key fetches behind an index probe
+// (CollectByIndex) hold no shard lock, so metadata queries scale with
+// reader threads instead of serializing on them. Scan-based paths report
+// at-rest decrypt failures instead of skipping them silently.
 
 #pragma once
 
@@ -91,7 +98,9 @@ class KvGdprStore : public GdprStore {
   // the router can say "every key hashing into slot S".
 
   // Snapshot of records (expired included) whose key matches key_pred.
-  std::vector<GdprRecord> ExportRecords(
+  // DataLoss when any matching record failed at-rest decryption: a slot
+  // migration built on a partial export would silently drop records.
+  StatusOr<std::vector<GdprRecord>> ExportRecords(
       const std::function<bool(const std::string&)>& key_pred);
   // Erasure tombstones whose key matches key_pred (so VerifyDeletion stays
   // truthful after the slot moves).
@@ -153,14 +162,20 @@ class KvGdprStore : public GdprStore {
   Status EraseRecord(const GdprRecord& record);
 
   // Collects matching records by metadata, via index or scan. Expired
-  // records are excluded for reads and included for erasure paths.
+  // records are excluded for reads and included for erasure paths. Both
+  // report records that exist but could not be read back (at-rest decrypt
+  // failure, parse failure) through *read_failures — queries and erasures
+  // built on a silently-partial collection would misreport compliance.
   std::vector<GdprRecord> CollectByIndex(
       const std::unordered_map<std::string, std::unordered_set<std::string>>&
           index,
-      const std::string& value, bool include_expired = false);
+      const std::string& value, bool include_expired = false,
+      size_t* read_failures = nullptr);
   std::vector<GdprRecord> CollectByScan(
       const std::function<bool(const GdprRecord&)>& match,
-      bool include_expired = false);
+      bool include_expired = false, size_t* read_failures = nullptr);
+  // Shared guard: DataLoss when a collection saw unreadable records.
+  static Status CollectionStatus(size_t read_failures);
 
   KvGdprOptions options_;
   std::unique_ptr<kv::MemKV> db_;
@@ -176,6 +191,12 @@ class KvGdprStore : public GdprStore {
   // Tombstones live in MemKV (persisted in the AOF, carried across
   // rewrites); this layer only tracks the erasure/compaction contract.
   ErasureBarrier barrier_;
+
+  // Records found unreadable (decrypt/parse failure) during the Open-time
+  // index rebuild: they are resident but in no index, so indexed
+  // collections report them as read failures rather than silently missing
+  // them. Sticky until Reset/clean reopen — conservative by design.
+  size_t index_unreadable_records_ = 0;
 
   std::array<std::mutex, 64> key_mu_;
 };

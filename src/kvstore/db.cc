@@ -47,10 +47,6 @@ MemKV::MemKV(const Options& options) : options_(options) {
 
 MemKV::~MemKV() { Close().ok(); }
 
-MemKV::Shard& MemKV::ShardFor(const std::string& key) {
-  return *shards_[HashKey(key) & shard_mask_];
-}
-
 Status MemKV::Open() {
   if (open_.load()) return Status::OK();
   if (options_.aof_enabled) {
@@ -84,6 +80,10 @@ Status MemKV::Open() {
 Status MemKV::Close() {
   if (!open_.exchange(false)) return Status::OK();
   StopExpiryCron();
+  // Hygiene, not correctness: push retired map generations out before the
+  // handle goes away so short-lived stores (tests, benches) don't stack
+  // dead nodes in the global lists.
+  EpochManager::Global().DrainRetired();
   aof_active_.store(false, std::memory_order_release);
   std::lock_guard<std::mutex> l(aof_mu_);
   if (aof_) {
@@ -119,12 +119,12 @@ void MemKV::UnregisterTtlLocked(Shard& s, const std::string& key) {
   // Heap entries are left stale and skipped on pop.
 }
 
-void MemKV::EraseLocked(Shard& s, const std::string& key) {
-  auto it = s.map.find(key);
-  if (it == s.map.end()) return;
-  s.bytes -= key.size() + it->second.value.size();
-  s.map.erase(it);
+bool MemKV::EraseLocked(Shard& s, const std::string& key, uint64_t hash) {
+  size_t old_value_size = 0;
+  if (!s.map.Erase(key, hash, &old_value_size)) return false;
+  s.bytes -= key.size() + old_value_size;
   UnregisterTtlLocked(s, key);
+  return true;
 }
 
 Status MemKV::SetInternal(const std::string& key, const std::string& value,
@@ -140,21 +140,22 @@ Status MemKV::SetInternal(const std::string& key, const std::string& value,
   // hit disk in plaintext when encryption is on.
   const bool log = log_to_aof && aof_active_.load(std::memory_order_acquire);
   std::string aof_copy = log ? stored : std::string();
-  Shard& s = ShardFor(key);
+  const uint64_t h = HashKey(key);
+  Shard& s = ShardFor(h);
   {
     std::unique_lock<std::shared_mutex> l(s.mu);
-    auto [it, inserted] = s.map.try_emplace(key);
-    if (!inserted) {
-      s.bytes -= it->second.value.size();
-      if (it->second.expiry_micros != 0 && expiry_abs == 0) {
-        UnregisterTtlLocked(s, key);
-      }
-    } else {
+    const size_t new_value_size = stored.size();
+    int64_t old_expiry = 0;
+    size_t old_value_size = 0;
+    const bool inserted = s.map.Upsert(key, h, std::move(stored), expiry_abs,
+                                       &old_expiry, &old_value_size);
+    if (inserted) {
       s.bytes += key.size();
+    } else {
+      s.bytes -= old_value_size;
+      if (old_expiry != 0 && expiry_abs == 0) UnregisterTtlLocked(s, key);
     }
-    it->second.value = std::move(stored);
-    it->second.expiry_micros = expiry_abs;
-    s.bytes += it->second.value.size();
+    s.bytes += new_value_size;
     if (expiry_abs != 0) RegisterTtlLocked(s, key, expiry_abs);
     // Log under the shard lock: AOF order must match apply order for
     // same-key races, or replay restores the overwritten value. Lock order
@@ -175,21 +176,26 @@ Status MemKV::SetWithTtl(const std::string& key, const std::string& value,
 }
 
 StatusOr<std::string> MemKV::Get(const std::string& key) {
-  Shard& s = ShardFor(key);
+  const uint64_t h = HashKey(key);
+  Shard& s = ShardFor(h);
   std::string stored;
   {
-    std::shared_lock<std::shared_mutex> l(s.mu);
-    auto it = s.map.find(key);
-    if (it == s.map.end()) return Status::NotFound(key);
-    if (it->second.expiry_micros != 0 &&
-        it->second.expiry_micros <= NowMicros()) {
+    // Lock-free fast path: pin the epoch, walk the shard map with acquire
+    // loads, copy the value out of the immutable block, unpin. No shared
+    // cache line is written except the thread's own epoch slot, so Gets
+    // scale with reader threads and never wait behind a writer holding the
+    // shard (bench_get_scale proves both properties).
+    EpochGuard guard;
+    const EntryBlock* b = s.map.Find(key, h);
+    if (b == nullptr) return Status::NotFound(key);
+    if (b->expiry_micros != 0 && b->expiry_micros <= NowMicros()) {
       // Logically dead; erasure happens in the expiry cycle.
       return Status::NotFound(key + " (expired)");
     }
-    stored = it->second.value;
+    stored = b->value;
   }
   if (options_.log_reads && aof_active_.load(std::memory_order_acquire)) {
-    Status s2 = AofAppend('R', key, "", 0);
+    Status s2 = AppendReadLog(key);
     if (!s2.ok()) return s2;
   }
   if (aead_) return aead_->Open(stored);
@@ -200,13 +206,16 @@ Status MemKV::Delete(const std::string& key) {
   if (aof_failed_.load(std::memory_order_acquire)) {
     return Status::IOError("aof offline after failed compaction");
   }
-  Shard& s = ShardFor(key);
+  const uint64_t h = HashKey(key);
+  Shard& s = ShardFor(h);
   bool existed = false;
   {
     std::unique_lock<std::shared_mutex> l(s.mu);
-    existed = s.map.count(key) != 0;
-    EraseLocked(s, key);
-    if (aof_active_.load(std::memory_order_acquire)) {
+    existed = EraseLocked(s, key, h);
+    // Only a delete that actually removed something earns a 'D' frame: a
+    // miss used to append one anyway, inflating the log (and the
+    // compaction-ratio policy feeding on it) with no-op deletes.
+    if (existed && aof_active_.load(std::memory_order_acquire)) {
       Status s2 = AofAppend('D', key, "", 0);
       if (!s2.ok()) return s2;
     }
@@ -232,28 +241,46 @@ size_t MemKV::ApproximateBytes() const {
   return total;
 }
 
-void MemKV::Scan(const std::function<bool(const std::string&,
-                                          const std::string&)>& fn) {
+size_t MemKV::Scan(const std::function<bool(const std::string&,
+                                            const std::string&)>& fn) {
   const int64_t now = NowMicros();
+  size_t decrypt_failures = 0;
   for (const auto& s : shards_) {
-    std::shared_lock<std::shared_mutex> l(s->mu);
-    for (const auto& [key, entry] : s->map) {
-      if (entry.expiry_micros != 0 && entry.expiry_micros <= now) continue;
-      if (aead_) {
-        auto plain = aead_->Open(entry.value);
-        if (!plain.ok()) continue;
-        if (!fn(key, plain.value())) return;
-      } else {
-        if (!fn(key, entry.value)) return;
-      }
-    }
+    // Epoch-pinned, not locked: writers to this shard proceed during the
+    // walk. The pin covers the callback too, so keep callbacks short — a
+    // long one holds back reclamation process-wide.
+    EpochGuard guard;
+    const bool keep_going =
+        s->map.ForEachReader([&](const std::string& key, const EntryBlock& e) {
+          if (e.expiry_micros != 0 && e.expiry_micros <= now) return true;
+          if (aead_) {
+            auto plain = aead_->Open(e.value);
+            if (!plain.ok()) {
+              // At-rest corruption must not vanish into a silent skip: the
+              // entry is still omitted (there is no plaintext to hand
+              // out), but the failure is counted and surfaced.
+              ++decrypt_failures;
+              scan_decrypt_failures_.fetch_add(1, std::memory_order_relaxed);
+              return true;
+            }
+            return fn(key, plain.value());
+          }
+          return fn(key, e.value);
+        });
+    if (!keep_going) break;
   }
+  return decrypt_failures;
 }
 
 size_t MemKV::RunExpiryCycle() {
   const int64_t now = NowMicros();
-  return options_.expiry_mode == ExpiryMode::kStrictScan ? RunStrictCycle(now)
-                                                         : RunLazyCycle(now);
+  const size_t erased = options_.expiry_mode == ExpiryMode::kStrictScan
+                            ? RunStrictCycle(now)
+                            : RunLazyCycle(now);
+  // Expiry erasures retire nodes; the cycle doubles as the reclaim tick so
+  // retired memory is bounded even when the write paths go quiet.
+  EpochManager::Global().TryReclaim();
+  return erased;
 }
 
 size_t MemKV::RunStrictCycle(int64_t now) {
@@ -265,14 +292,14 @@ size_t MemKV::RunStrictCycle(int64_t now) {
     while (!s.ttl_heap.empty() && s.ttl_heap.top().expiry_micros <= now) {
       HeapItem item = s.ttl_heap.top();
       s.ttl_heap.pop();
-      auto it = s.map.find(item.key);
+      const uint64_t h = HashKey(item.key);
+      const EntryBlock* e = s.map.FindLocked(item.key, h);
       // Skip stale heap entries: key gone, TTL rewritten, or persisted.
-      if (it == s.map.end() || it->second.expiry_micros == 0 ||
-          it->second.expiry_micros > now ||
-          it->second.expiry_micros != item.expiry_micros) {
+      if (e == nullptr || e->expiry_micros == 0 || e->expiry_micros > now ||
+          e->expiry_micros != item.expiry_micros) {
         continue;
       }
-      EraseLocked(s, item.key);
+      EraseLocked(s, item.key, h);
       // Logged under the shard lock so a racing re-Set of the key cannot
       // be ordered before this 'D' in the AOF.
       if (log) AofAppend('D', item.key, "", 0).ok();
@@ -299,10 +326,10 @@ size_t MemKV::RunLazyCycle(int64_t now) {
       if (s.ttl_keys.empty()) continue;
       const std::string key = s.ttl_keys[lazy_rng_.Uniform(s.ttl_keys.size())];
       ++sampled;
-      auto it = s.map.find(key);
-      if (it != s.map.end() && it->second.expiry_micros != 0 &&
-          it->second.expiry_micros <= now) {
-        EraseLocked(s, key);
+      const uint64_t h = HashKey(key);
+      const EntryBlock* e = s.map.FindLocked(key, h);
+      if (e != nullptr && e->expiry_micros != 0 && e->expiry_micros <= now) {
+        EraseLocked(s, key, h);
         if (log) AofAppend('D', key, "", 0).ok();
         ++erased;
       }
@@ -344,7 +371,7 @@ void MemKV::Clear() {
   for (const auto& sp : shards_) {
     Shard& s = *sp;
     std::unique_lock<std::shared_mutex> l(s.mu);
-    s.map.clear();
+    s.map.Clear();
     s.ttl_keys.clear();
     s.ttl_pos.clear();
     while (!s.ttl_heap.empty()) s.ttl_heap.pop();
@@ -352,6 +379,9 @@ void MemKV::Clear() {
   }
   std::lock_guard<std::mutex> l(tomb_mu_);
   tombstones_.clear();
+  // The wholesale clear just retired every node; give the reclaimer a push
+  // so bench reload loops don't accumulate dead generations.
+  EpochManager::Global().TryReclaim();
 }
 
 // --- Erasure tombstones ------------------------------------------------------
@@ -426,6 +456,10 @@ Status MemKV::AofAppend(char op, const std::string& key,
   std::string rec;
   EncodeAofRecord(&rec, op, key, value, expiry);
   std::lock_guard<std::mutex> l(aof_mu_);
+  return AofAppendLocked(rec);
+}
+
+Status MemKV::AofAppendLocked(const std::string& rec) {
   if (!aof_) return Status::OK();
   // Mirror into the rewrite buffer so a mutation racing a CompactAof
   // snapshot is not lost from the new log (replay is last-write-wins, so
@@ -443,6 +477,28 @@ Status MemKV::AofAppend(char op, const std::string& key,
     }
   }
   return Status::OK();
+}
+
+Status MemKV::AppendReadLog(const std::string& key) {
+  std::string rec;
+  EncodeAofRecord(&rec, 'R', key, "", 0);
+  std::lock_guard<std::mutex> l(aof_mu_);
+  {
+    // Ordering contract with erasure evidence ('T' frames): the tombstone
+    // set mutation happens-before its 'T' append, and this check + the 'R'
+    // append happen atomically under aof_mu_. So either this Get observes
+    // no tombstone — then the racing AddTombstone has not yet appended its
+    // 'T', which must wait for aof_mu_, and the 'R' lands strictly before
+    // it — or the tombstone is visible and the read linearizes after the
+    // erasure: no value, no frame. The lock-free read path made this race
+    // wider (the value is captured with no lock held), so the evidence
+    // ordering is enforced here, at the log, rather than at the shard.
+    std::lock_guard<std::mutex> tl(tomb_mu_);
+    if (tombstones_.count(key) != 0) {
+      return Status::NotFound(key + " (erased)");
+    }
+  }
+  return AofAppendLocked(rec);
 }
 
 void MemKV::AofMaybeSync() {
@@ -501,27 +557,37 @@ Status MemKV::AofReplay(const std::string& contents) {
         // The last write of this key is already dead: erase any earlier
         // replayed value instead of skipping, or it would be resurrected.
         const std::string k(key);
-        Shard& s = ShardFor(k);
+        const uint64_t h = HashKey(k);
+        Shard& s = ShardFor(h);
         std::unique_lock<std::shared_mutex> l(s.mu);
-        EraseLocked(s, k);
+        EraseLocked(s, k, h);
         continue;
       }
-      Shard& s = ShardFor(std::string(key));
+      const std::string k(key);
+      const uint64_t h = HashKey(k);
+      Shard& s = ShardFor(h);
       std::unique_lock<std::shared_mutex> l(s.mu);
-      auto [it, inserted] = s.map.try_emplace(std::string(key));
-      if (!inserted) s.bytes -= it->second.value.size();
-      else s.bytes += key.size();
-      it->second.value = std::string(value);
-      it->second.expiry_micros = int64_t(expiry);
-      s.bytes += it->second.value.size();
+      int64_t old_expiry = 0;
+      size_t old_value_size = 0;
+      const bool inserted = s.map.Upsert(k, h, std::string(value),
+                                         int64_t(expiry), &old_expiry,
+                                         &old_value_size);
+      if (inserted) {
+        s.bytes += k.size();
+      } else {
+        s.bytes -= old_value_size;
+        if (old_expiry != 0 && expiry == 0) UnregisterTtlLocked(s, k);
+      }
+      s.bytes += value.size();
       if (expiry != 0) {
-        RegisterTtlLocked(s, std::string(key), int64_t(expiry));
+        RegisterTtlLocked(s, k, int64_t(expiry));
       }
     } else if (op == 'D') {
       const std::string k(key);
-      Shard& s = ShardFor(k);
+      const uint64_t h = HashKey(k);
+      Shard& s = ShardFor(h);
       std::unique_lock<std::shared_mutex> l(s.mu);
-      EraseLocked(s, k);
+      EraseLocked(s, k, h);
     } else if (op == 'T') {
       std::lock_guard<std::mutex> l(tomb_mu_);
       tombstones_.insert(std::string(key));
@@ -576,11 +642,15 @@ Status MemKV::CompactAof() {
     Shard& s = *sp;
     buf.clear();
     {
+      // Shared lock: excludes writers for a consistent per-shard snapshot;
+      // the lock-free readers are unaffected.
       std::shared_lock<std::shared_mutex> l(s.mu);
-      for (const auto& [key, entry] : s.map) {
-        if (entry.expiry_micros != 0 && entry.expiry_micros <= now) continue;
-        EncodeAofRecord(&buf, 'S', key, entry.value, entry.expiry_micros);
-      }
+      s.map.ForEachLocked([&](const std::string& key, const EntryBlock& e) {
+        if (e.expiry_micros == 0 || e.expiry_micros > now) {
+          EncodeAofRecord(&buf, 'S', key, e.value, e.expiry_micros);
+        }
+        return true;
+      });
     }
     Status st = out->Append(buf);
     if (!st.ok()) {
@@ -589,32 +659,45 @@ Status MemKV::CompactAof() {
     }
     tmp_bytes += buf.size();
   }
-  // Tombstones outlive the records they evidence: the erased data's frames
-  // are gone from the new log, the proof of erasure is not.
-  buf.clear();
-  {
-    std::lock_guard<std::mutex> l(tomb_mu_);
-    for (const auto& key : tombstones_) EncodeAofRecord(&buf, 'T', key, "", 0);
-  }
-  Status st = out->Append(buf);
   // Sync the bulk snapshot BEFORE taking aof_mu_: this fsync is
   // proportional to total live data and must not stall writers; the one
   // under the lock covers only the small racing-write tail.
-  if (st.ok()) st = out->Sync();
+  Status st = out->Sync();
   if (!st.ok()) {
     abort_rewrite(tmp_path);
     return st;
   }
-  tmp_bytes += buf.size();
-  // Phase 3: drain the mirror buffer, fsync the tail, and atomically swap
-  // the logs. Writers block on aof_mu_ only for this window — the p99 cost
-  // bench_compaction measures. A crash before RenameFile leaves the old
-  // AOF authoritative; after it, the new one. Never a mix.
+  // Phase 3: drain the mirror buffer, emit the tombstone snapshot, fsync
+  // the tail, and atomically swap the logs. Writers block on aof_mu_ only
+  // for this window — the p99 cost bench_compaction measures. A crash
+  // before RenameFile leaves the old AOF authoritative; after it, the new
+  // one. Never a mix.
+  //
+  // The tombstone snapshot comes AFTER the mirror drain, not in phase 2:
+  // a Get mirrored an 'R' frame only while its key was un-tombstoned
+  // (AppendReadLog checks under this same mutex), so every mirrored 'R'
+  // precedes its key's tombstone registration — emitting the 'T' snapshot
+  // behind the mirror keeps the rewritten log honoring the same
+  // no-R-after-T evidence ordering the live log guarantees. Tombstones
+  // outlive the records they evidence: the erased data's frames are gone
+  // from the new log, the proof of erasure is not. Lock order here is
+  // aof_mu_ -> tomb_mu_, same as AppendReadLog.
   {
     std::lock_guard<std::mutex> l(aof_mu_);
     if (!rewrite_buf_.empty()) {
       st = out->Append(rewrite_buf_);
       tmp_bytes += rewrite_buf_.size();
+    }
+    if (st.ok()) {
+      buf.clear();
+      {
+        std::lock_guard<std::mutex> tl(tomb_mu_);
+        for (const auto& key : tombstones_) {
+          EncodeAofRecord(&buf, 'T', key, "", 0);
+        }
+      }
+      st = out->Append(buf);
+      tmp_bytes += buf.size();
     }
     if (st.ok() && aead_) {
       // The rewrite dropped dead sealed frames, so the replayer can no

@@ -1,0 +1,278 @@
+// EpochMap: the shard map behind MemKV, rebuilt for lock-free point reads.
+//
+// Shape: a chained hash table whose bucket heads and chain links are
+// atomics. Writers still serialize per shard (the caller holds the shard's
+// writer lock for every mutation), which keeps the write side a plain
+// single-writer program; readers hold no lock at all — they pin an epoch
+// (see common/epoch.h), acquire-load the table pointer, walk one chain, and
+// copy the value out of an immutable EntryBlock.
+//
+// Invariants that make the reader walk safe:
+//   * Node.key/.hash never change after publication; Node.block only ever
+//     swings between fully-constructed immutable blocks.
+//   * Unlinking a node never touches the node's own `next`, so a reader
+//     standing on an unlinked node still sees the rest of its chain.
+//   * Growth copies nodes into a fresh table (sharing EntryBlocks via a
+//     writer-side refcount) and retires the old generation wholesale —
+//     chain links of the generation a reader is walking are never rewired.
+//   * Nothing a reader can reach is ever freed directly: displaced blocks,
+//     unlinked nodes, and superseded tables all go through the epoch
+//     manager's retire lists.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.h"
+
+namespace gdpr::kv {
+
+// Immutable once published. Shared between node generations across table
+// growth; `refs` is touched only by writers (under the shard writer lock)
+// and by epoch-deferred deleters, never by readers.
+struct EntryBlock {
+  EntryBlock(std::string v, int64_t expiry)
+      : value(std::move(v)), expiry_micros(expiry) {}
+  const std::string value;  // stored (possibly AEAD-sealed) bytes
+  const int64_t expiry_micros;
+  std::atomic<uint32_t> refs{1};
+};
+
+inline void UnrefEntryBlock(void* p) {
+  auto* b = static_cast<EntryBlock*>(p);
+  if (b->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete b;
+}
+
+class EpochMap {
+ public:
+  struct Node {
+    Node(std::string k, uint64_t h, EntryBlock* b)
+        : key(std::move(k)), hash(h), block(b) {}
+    ~Node() { UnrefEntryBlock(block.load(std::memory_order_relaxed)); }
+    const std::string key;
+    const uint64_t hash;
+    std::atomic<EntryBlock*> block;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  explicit EpochMap(size_t initial_buckets = 8)
+      : table_(new Table(RoundUpPow2(initial_buckets))) {}
+
+  ~EpochMap() {
+    // Destruction contract: no concurrent readers or writers. Only the
+    // current generation is freed here — retired generations already sit
+    // in the epoch manager's lists and are freed by it.
+    Table* t = table_.load(std::memory_order_relaxed);
+    for (auto& b : t->buckets) {
+      Node* n = b.load(std::memory_order_relaxed);
+      while (n) {
+        Node* next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+      }
+    }
+    delete t;
+  }
+
+  EpochMap(const EpochMap&) = delete;
+  EpochMap& operator=(const EpochMap&) = delete;
+
+  // ---- reader side (caller holds an EpochGuard) ---------------------------
+
+  // Lock-free point lookup. The returned block stays valid until the
+  // caller's EpochGuard dies; copy what you need before unpinning.
+  const EntryBlock* Find(const std::string& key, uint64_t hash) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    for (const Node* n =
+             t->buckets[hash & t->mask].load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (n->hash == hash && n->key == key) {
+        return n->block.load(std::memory_order_acquire);
+      }
+    }
+    return nullptr;
+  }
+
+  // Lock-free traversal of one consistent table generation. Entries
+  // mutated concurrently may or may not be seen (same guarantee a snapshot
+  // isolation scan gives); fn returns false to stop. Caller holds an
+  // EpochGuard for the whole walk.
+  template <typename Fn>  // Fn: bool(const std::string& key, const EntryBlock&)
+  bool ForEachReader(Fn fn) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    for (const auto& bucket : t->buckets) {
+      for (const Node* n = bucket.load(std::memory_order_acquire); n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        const EntryBlock* b = n->block.load(std::memory_order_acquire);
+        if (!fn(n->key, *b)) return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- writer side (caller holds the shard's writer lock) -----------------
+
+  // Insert-or-overwrite. Returns true when the key was newly inserted;
+  // on overwrite, *old_expiry/*old_value_size describe the displaced block
+  // (which is retired, never freed inline).
+  bool Upsert(const std::string& key, uint64_t hash, std::string stored,
+              int64_t expiry_micros, int64_t* old_expiry,
+              size_t* old_value_size) {
+    Table* t = table_.load(std::memory_order_relaxed);
+    auto& bucket = t->buckets[hash & t->mask];
+    for (Node* n = bucket.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->hash == hash && n->key == key) {
+        auto* fresh = new EntryBlock(std::move(stored), expiry_micros);
+        EntryBlock* old =
+            n->block.exchange(fresh, std::memory_order_acq_rel);
+        if (old_expiry) *old_expiry = old->expiry_micros;
+        if (old_value_size) *old_value_size = old->value.size();
+        // The node kept its only structural reference; hand it to the
+        // reclaimer (readers may still hold the old block).
+        EpochManager::Global().RetireRaw(old, UnrefEntryBlock);
+        return false;
+      }
+    }
+    auto* node =
+        new Node(key, hash, new EntryBlock(std::move(stored), expiry_micros));
+    node->next.store(bucket.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    bucket.store(node, std::memory_order_release);  // publish
+    ++size_;
+    if (size_ > t->buckets.size()) Grow();
+    return true;
+  }
+
+  // Writer-side lookup (bookkeeping reads on mutation/expiry paths).
+  const EntryBlock* FindLocked(const std::string& key, uint64_t hash) const {
+    Table* t = table_.load(std::memory_order_relaxed);
+    for (Node* n = t->buckets[hash & t->mask].load(std::memory_order_relaxed);
+         n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+      if (n->hash == hash && n->key == key) {
+        return n->block.load(std::memory_order_relaxed);
+      }
+    }
+    return nullptr;
+  }
+
+  // Unlink + retire. Returns true when the key existed; *old_value_size
+  // receives the displaced value's size for byte accounting.
+  bool Erase(const std::string& key, uint64_t hash, size_t* old_value_size) {
+    Table* t = table_.load(std::memory_order_relaxed);
+    auto& bucket = t->buckets[hash & t->mask];
+    Node* prev = nullptr;
+    for (Node* n = bucket.load(std::memory_order_relaxed); n != nullptr;
+         prev = n, n = n->next.load(std::memory_order_relaxed)) {
+      if (n->hash != hash || n->key != key) continue;
+      Node* after = n->next.load(std::memory_order_relaxed);
+      // Unlink without touching n->next: a reader standing on n keeps a
+      // valid view of the rest of the chain.
+      if (prev == nullptr) {
+        bucket.store(after, std::memory_order_release);
+      } else {
+        prev->next.store(after, std::memory_order_release);
+      }
+      if (old_value_size) {
+        *old_value_size =
+            n->block.load(std::memory_order_relaxed)->value.size();
+      }
+      EpochManager::Global().Retire(n);  // ~Node unrefs the block
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  // Writer-side traversal (caller excludes writers via the shard lock; used
+  // by snapshot paths that already hold the shard lock shared).
+  template <typename Fn>  // Fn: bool(const std::string& key, const EntryBlock&)
+  bool ForEachLocked(Fn fn) const {
+    Table* t = table_.load(std::memory_order_relaxed);
+    for (const auto& bucket : t->buckets) {
+      for (Node* n = bucket.load(std::memory_order_relaxed); n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        if (!fn(n->key, *n->block.load(std::memory_order_relaxed))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Drops every entry: publishes a fresh empty table and retires the old
+  // generation (readers may be mid-walk in it).
+  void Clear() {
+    Table* old = table_.load(std::memory_order_relaxed);
+    table_.store(new Table(8), std::memory_order_release);
+    RetireGeneration(old);
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  size_t bucket_count() const {
+    return table_.load(std::memory_order_relaxed)->buckets.size();
+  }
+
+ private:
+  struct Table {
+    explicit Table(size_t n) : buckets(n), mask(n - 1) {}
+    std::vector<std::atomic<Node*>> buckets;
+    const uint64_t mask;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // Doubles the table: fresh nodes share the EntryBlocks (writer-side
+  // ref bump), the new generation is published with one release store, and
+  // the old generation — whose chains stay intact for in-flight readers —
+  // is retired node by node.
+  void Grow() {
+    Table* old = table_.load(std::memory_order_relaxed);
+    auto* grown = new Table(old->buckets.size() * 2);
+    for (auto& bucket : old->buckets) {
+      for (Node* n = bucket.load(std::memory_order_relaxed); n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        EntryBlock* blk = n->block.load(std::memory_order_relaxed);
+        blk->refs.fetch_add(1, std::memory_order_relaxed);
+        auto* copy = new Node(n->key, n->hash, blk);
+        auto& slot = grown->buckets[n->hash & grown->mask];
+        copy->next.store(slot.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        slot.store(copy, std::memory_order_relaxed);
+      }
+    }
+    table_.store(grown, std::memory_order_release);  // publish
+    RetireGeneration(old);
+  }
+
+  void RetireGeneration(Table* t) {
+    // One batch, one retire-mutex acquisition: this runs under the shard
+    // writer lock, and per-node round-trips through the global mutex would
+    // stall every other writer for the duration of a growth.
+    std::vector<std::pair<void*, void (*)(void*)>> batch;
+    batch.reserve(t->buckets.size() + 1);
+    for (auto& bucket : t->buckets) {
+      for (Node* n = bucket.load(std::memory_order_relaxed); n != nullptr;) {
+        Node* next = n->next.load(std::memory_order_relaxed);
+        batch.emplace_back(n, [](void* q) { delete static_cast<Node*>(q); });
+        n = next;
+      }
+    }
+    batch.emplace_back(t, [](void* q) { delete static_cast<Table*>(q); });
+    EpochManager::Global().RetireBatch(std::move(batch));
+  }
+
+  std::atomic<Table*> table_;
+  size_t size_ = 0;  // guarded by the caller's shard writer lock
+};
+
+}  // namespace gdpr::kv

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <set>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/distributions.h"
+#include "common/epoch.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -93,6 +97,88 @@ TEST(StringUtil, JoinSplit) {
   ASSERT_EQ(parts.size(), 3u);
   EXPECT_EQ(parts[1], "b");
   EXPECT_TRUE(SplitString("", '|').empty());
+}
+
+// Deleter that records its run for the reclamation tests.
+struct RetireProbe {
+  explicit RetireProbe(std::atomic<int>* counter) : freed(counter) {}
+  ~RetireProbe() { freed->fetch_add(1); }
+  std::atomic<int>* freed;
+};
+
+TEST(Epoch, RetiredObjectsFreeAfterTwoAdvances) {
+  auto& mgr = EpochManager::Global();
+  std::atomic<int> freed{0};
+  mgr.Retire(new RetireProbe(&freed));
+  // No reader pinned: two reclaim passes advance the epoch twice; the
+  // third pass is free to collect (retire epoch + 2 <= global).
+  for (int i = 0; i < 4 && freed.load() == 0; ++i) mgr.TryReclaim();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Epoch, PinnedReaderHoldsBackReclamation) {
+  auto& mgr = EpochManager::Global();
+  std::atomic<int> freed{0};
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  // The guard must live on another thread: TryReclaim runs on this one,
+  // and a pin parks the *thread's* slot at its pin-time epoch.
+  std::thread reader([&] {
+    EpochGuard guard;
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+  mgr.Retire(new RetireProbe(&freed));
+  for (int i = 0; i < 16; ++i) mgr.TryReclaim();
+  // The reader pinned an epoch <= the retire epoch: nothing may be freed.
+  EXPECT_EQ(freed.load(), 0);
+  release.store(true);
+  reader.join();
+  for (int i = 0; i < 4 && freed.load() == 0; ++i) mgr.TryReclaim();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Epoch, OverflowReadersRemainVisibleToReclaim) {
+  // Exhaust every per-thread slot so the last few guards land on the
+  // shared overflow slot — reclamation must treat them exactly like
+  // slotted readers (no invisible-reader mode).
+  auto& mgr = EpochManager::Global();
+  constexpr size_t kThreads = EpochManager::kMaxThreads + 8;
+  std::atomic<size_t> pinned{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> freed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      EpochGuard guard;
+      pinned.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (pinned.load() < kThreads) std::this_thread::yield();
+  mgr.Retire(new RetireProbe(&freed));
+  for (int i = 0; i < 8; ++i) mgr.TryReclaim();
+  EXPECT_EQ(freed.load(), 0);
+  release.store(true);
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 4 && freed.load() == 0; ++i) mgr.TryReclaim();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Epoch, GuardsNestAndUnpin) {
+  auto& mgr = EpochManager::Global();
+  const uint64_t before = mgr.GlobalEpoch();
+  {
+    EpochGuard outer;
+    EpochGuard inner;  // same thread: depth-tracked, inner must not unpin
+    (void)outer;
+    (void)inner;
+  }
+  // With every guard dead the epoch can advance again.
+  mgr.TryReclaim();
+  EXPECT_GE(mgr.GlobalEpoch(), before);
 }
 
 }  // namespace

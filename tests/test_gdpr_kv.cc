@@ -340,6 +340,84 @@ TEST(AuditLog, HeadAdvancesWithNewGroups) {
   EXPECT_TRUE(log.VerifyChain());
 }
 
+TEST(KvGdprStore, ScanRecordsSurfacesAtRestCorruption) {
+  MemEnv env;
+  KvGdprOptions o;
+  o.compliance.encrypt_at_rest = true;
+  o.kv.env = &env;
+  o.kv.aof_enabled = true;
+  o.kv.aof_path = "gdpr-corrupt.aof";
+  o.kv.sync_policy = SyncPolicy::kNever;
+  {
+    KvGdprStore store(o);
+    ASSERT_TRUE(store.Open().ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(store.CreateRecord(Actor::Controller(),
+                                     MakeRec("k" + std::to_string(i), "neo"))
+                      .ok());
+    }
+    size_t seen = 0;
+    ASSERT_TRUE(store.ScanRecords(Actor::Controller(), [&](const GdprRecord&) {
+      ++seen;
+      return true;
+    }).ok());
+    EXPECT_EQ(seen, 3u);
+    ASSERT_TRUE(store.Close().ok());
+  }
+  // Flip one sealed bit on disk: a full scan must now report DataLoss
+  // instead of silently returning two of three records.
+  auto contents = env.ReadFileToString("gdpr-corrupt.aof");
+  ASSERT_TRUE(contents.ok());
+  std::string corrupted = contents.value();
+  // The file ends with an 'S' frame whose last 8 bytes are the expiry;
+  // byte -9 is the tail of the sealed value (the MAC).
+  const size_t mac_tail = corrupted.size() - 9;
+  corrupted[mac_tail] = char(uint8_t(corrupted[mac_tail]) ^ 0x01);
+  auto f = env.NewWritableFile("gdpr-corrupt.aof", /*truncate=*/true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Append(corrupted).ok());
+  ASSERT_TRUE(f.value()->Close().ok());
+  {
+    KvGdprStore store(o);
+    ASSERT_TRUE(store.Open().ok());
+    size_t seen = 0;
+    Status s = store.ScanRecords(Actor::Controller(), [&](const GdprRecord&) {
+      ++seen;
+      return true;
+    });
+    EXPECT_TRUE(s.IsDataLoss()) << s.ToString();
+    EXPECT_EQ(seen, 2u);
+    EXPECT_EQ(store.raw()->ScanDecryptFailures(), 1u);
+    // Every scan-built operation must refuse to pretend completeness: a
+    // metadata query may be missing the corrupt record, a user erasure
+    // cannot prove it erased everything, an export would drop it.
+    EXPECT_TRUE(store.ReadMetadataByUser(Actor::Controller(), "neo")
+                    .status()
+                    .IsDataLoss());
+    EXPECT_TRUE(store.DeleteRecordsByUser(Actor::Controller(), "neo")
+                    .status()
+                    .IsDataLoss());
+    EXPECT_TRUE(store.ExportRecords([](const std::string&) { return true; })
+                    .status()
+                    .IsDataLoss());
+  }
+  // With metadata_indexing on, the corrupt record is resident but in NO
+  // index after the Open-time rebuild — indexed collections must report
+  // it rather than silently answer from the holey index.
+  {
+    KvGdprOptions oi = o;
+    oi.compliance.metadata_indexing = true;
+    KvGdprStore store(oi);
+    ASSERT_TRUE(store.Open().ok());
+    EXPECT_TRUE(store.ReadMetadataByUser(Actor::Controller(), "neo")
+                    .status()
+                    .IsDataLoss());
+    EXPECT_TRUE(store.DeleteExpiredRecords(Actor::Controller())
+                    .status()
+                    .IsDataLoss());
+  }
+}
+
 TEST(KvGdprStore, FeaturesReflectConfiguration) {
   KvGdprOptions o;
   o.compliance.metadata_indexing = true;

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/coding.h"
 #include "kvstore/db.h"
@@ -206,6 +209,202 @@ TEST(MemKV, SealSequenceResumesAfterReplay) {
     }
   }
   EXPECT_EQ(sets, 6u);
+}
+
+// Minimal AOF frame parser for ordering assertions: returns (op, key) pairs
+// in file order, handling every opcode including the keyless 'Q'.
+std::vector<std::pair<char, std::string>> ParseAofFrames(
+    const std::string& contents) {
+  std::vector<std::pair<char, std::string>> frames;
+  std::string_view in(contents);
+  while (!in.empty()) {
+    const char op = in.front();
+    in.remove_prefix(1);
+    if (op == 'Q') {
+      uint64_t seq = 0;
+      EXPECT_TRUE(GetFixed64(&in, &seq));
+      frames.emplace_back(op, "");
+      continue;
+    }
+    std::string_view key;
+    EXPECT_TRUE(GetLengthPrefixed(&in, &key));
+    if (op == 'S') {
+      std::string_view value;
+      uint64_t expiry = 0;
+      EXPECT_TRUE(GetLengthPrefixed(&in, &value));
+      EXPECT_TRUE(GetFixed64(&in, &expiry));
+    }
+    frames.emplace_back(op, std::string(key));
+  }
+  return frames;
+}
+
+TEST(MemKV, NoopDeleteDoesNotAppendDFrame) {
+  MemEnv env;
+  Options o;
+  o.env = &env;
+  o.aof_enabled = true;
+  o.aof_path = "noop.aof";
+  o.sync_policy = SyncPolicy::kNever;
+  MemKV db(o);
+  ASSERT_TRUE(db.Open().ok());
+  db.Set("present", "v").ok();
+  const uint64_t bytes_before = db.AofLogBytes();
+  EXPECT_FALSE(db.Delete("never-existed").ok());
+  // A miss must not grow the log: phantom 'D' frames inflate the
+  // compaction-ratio policy and the replay cost for deletes that deleted
+  // nothing.
+  EXPECT_EQ(db.AofLogBytes(), bytes_before);
+  EXPECT_TRUE(db.Delete("present").ok());
+  EXPECT_GT(db.AofLogBytes(), bytes_before);
+  db.Close().ok();
+  auto contents = env.ReadFileToString("noop.aof");
+  ASSERT_TRUE(contents.ok());
+  size_t d_frames = 0;
+  for (const auto& [op, key] : ParseAofFrames(contents.value())) {
+    if (op == 'D') {
+      ++d_frames;
+      EXPECT_EQ(key, "present");
+    }
+  }
+  EXPECT_EQ(d_frames, 1u);
+}
+
+TEST(MemKV, ReadLogNeverOrdersAfterErasureTombstone) {
+  // Deterministic half of the satellite fix: once the tombstone is
+  // registered, a Get that already captured the value must not emit an 'R'
+  // frame (which would land after the 'T') — it linearizes after the
+  // erasure and reports NotFound instead.
+  MemEnv env;
+  Options o;
+  o.env = &env;
+  o.aof_enabled = true;
+  o.aof_path = "rlog.aof";
+  o.log_reads = true;
+  o.sync_policy = SyncPolicy::kNever;
+  MemKV db(o);
+  ASSERT_TRUE(db.Open().ok());
+  db.Set("pii", "v").ok();
+  EXPECT_TRUE(db.Get("pii").ok());  // logged: R before any T
+  ASSERT_TRUE(db.AddTombstone("pii").ok());
+  auto got = db.Get("pii");  // value still resident, but erasure evidence wins
+  EXPECT_FALSE(got.ok());
+  db.Close().ok();
+  auto contents = env.ReadFileToString("rlog.aof");
+  ASSERT_TRUE(contents.ok());
+  bool saw_tombstone = false;
+  size_t reads_before = 0, reads_after = 0;
+  for (const auto& [op, key] : ParseAofFrames(contents.value())) {
+    if (key != "pii") continue;
+    if (op == 'T') saw_tombstone = true;
+    if (op == 'R') (saw_tombstone ? reads_after : reads_before)++;
+  }
+  EXPECT_TRUE(saw_tombstone);
+  EXPECT_EQ(reads_before, 1u);
+  EXPECT_EQ(reads_after, 0u);
+}
+
+TEST(MemKV, ReadLogOrderingHoldsUnderGetForgetRaces) {
+  // Racing half: readers hammer Gets while the main thread erases key
+  // after key (delete + tombstone, the GDPR forget shape). Whatever the
+  // interleaving, the audit evidence must never show a read after the
+  // tombstone that evidences the erasure.
+  MemEnv env;
+  Options o;
+  o.env = &env;
+  o.aof_enabled = true;
+  o.aof_path = "race.aof";
+  o.log_reads = true;
+  o.sync_policy = SyncPolicy::kNever;
+  MemKV db(o);
+  ASSERT_TRUE(db.Open().ok());
+  constexpr int kKeys = 200;
+  std::atomic<int> cursor{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const int i = cursor.load();
+        db.Get("k" + std::to_string(i)).ok();
+        db.Get("k" + std::to_string(i > 0 ? i - 1 : 0)).ok();
+      }
+    });
+  }
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    db.Set(key, "pii").ok();
+    cursor.store(i);
+    db.Delete(key).ok();
+    ASSERT_TRUE(db.AddTombstone(key).ok());
+    // Rewrites race the read log too: the mirror drain and the tombstone
+    // snapshot must preserve the no-R-after-T ordering in the NEW log.
+    if (i % 50 == 25) ASSERT_TRUE(db.CompactAof().ok());
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  db.Close().ok();
+  auto contents = env.ReadFileToString("race.aof");
+  ASSERT_TRUE(contents.ok());
+  std::set<std::string> tombstoned;
+  for (const auto& [op, key] : ParseAofFrames(contents.value())) {
+    if (op == 'T') tombstoned.insert(key);
+    if (op == 'R') {
+      EXPECT_EQ(tombstoned.count(key), 0u)
+          << "read-log frame for " << key << " after its erasure tombstone";
+    }
+  }
+  EXPECT_EQ(tombstoned.size(), size_t(kKeys));
+}
+
+TEST(MemKV, ScanCountsAndSurfacesDecryptFailures) {
+  MemEnv env;
+  Options o;
+  o.env = &env;
+  o.encrypt_at_rest = true;
+  o.aof_enabled = true;
+  o.aof_path = "corrupt.aof";
+  o.sync_policy = SyncPolicy::kNever;
+  {
+    MemKV db(o);
+    ASSERT_TRUE(db.Open().ok());
+    db.Set("a", "alpha").ok();
+    db.Set("b", "beta").ok();
+    db.Set("c", "gamma").ok();
+    EXPECT_EQ(db.Scan([](const std::string&, const std::string&) {
+      return true;
+    }), 0u);
+    EXPECT_EQ(db.ScanDecryptFailures(), 0u);
+    db.Close().ok();
+  }
+  // Flip one ciphertext bit on disk: the MAC check must fail for exactly
+  // that record after replay.
+  auto contents = env.ReadFileToString("corrupt.aof");
+  ASSERT_TRUE(contents.ok());
+  std::string corrupted = contents.value();
+  // The file ends with an 'S' frame whose last 8 bytes are the expiry;
+  // byte -9 is the tail of the sealed value (the MAC).
+  const size_t mac_tail = corrupted.size() - 9;
+  corrupted[mac_tail] = char(uint8_t(corrupted[mac_tail]) ^ 0x01);
+  {
+    auto f = env.NewWritableFile("corrupt.aof", /*truncate=*/true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()->Append(corrupted).ok());
+    ASSERT_TRUE(f.value()->Close().ok());
+  }
+  {
+    MemKV db(o);
+    ASSERT_TRUE(db.Open().ok());  // replay stores raw bytes; no decrypt yet
+    size_t healthy = 0;
+    const size_t failures = db.Scan([&](const std::string&, const std::string&) {
+      ++healthy;
+      return true;
+    });
+    EXPECT_EQ(failures, 1u);
+    EXPECT_EQ(healthy, 2u);
+    EXPECT_EQ(db.ScanDecryptFailures(), 1u);
+    db.Close().ok();
+  }
 }
 
 TEST(MemKV, ConcurrentMixedOps) {
