@@ -20,8 +20,12 @@ ClusterGdprStore::ClusterGdprStore(const ClusterOptions& options)
     o.clock = clock_;
     o.compliance = options_.compliance;
     o.kv = options_.kv;
+    o.audit = options_.audit;
     if (!o.kv.aof_path.empty()) {
       o.kv.aof_path += StringPrintf(".node%zu", i);
+    }
+    if (!o.audit.path.empty()) {
+      o.audit.path += StringPrintf(".node%zu", i);
     }
     nodes_.push_back(std::make_unique<KvGdprStore>(o));
   }
@@ -41,11 +45,15 @@ Status ClusterGdprStore::Open() {
     Status s = node->Open();
     if (!s.ok()) return s;
   }
-  return Status::OK();
+  // The router's own trail (MOVE-SLOTS, COMPACT-ALL) is evidence too.
+  AuditLogOptions router_audit = options_.audit;
+  if (!router_audit.path.empty()) router_audit.path += ".router";
+  return OpenDurableAudit(router_audit, options_.kv.env,
+                          options_.kv.sync_policy);
 }
 
 Status ClusterGdprStore::Close() {
-  Status out = Status::OK();
+  Status out = audit_log_.CloseDurable();
   for (auto& node : nodes_) {
     Status s = node->Close();
     if (!s.ok()) out = s;
@@ -330,6 +338,15 @@ StatusOr<CompactionStats> ClusterGdprStore::CompactNow(const Actor& actor) {
     }
     merged.Merge(part.value());
   }
+  // Per-node chains were carried over inside each node's CompactNow; carry
+  // the router's own chain too.
+  auto ac = audit_log_.Compact(clock_->NowMicros());
+  if (!ac.ok()) {
+    AuditCluster(actor, ops::kCompactAll, "", false);
+    return ac.status();
+  }
+  merged.audit_segments += audit_log_.segment_count();
+  merged.audit_dropped_entries += audit_log_.dropped_entries_total();
   AuditCluster(actor, ops::kCompactAll,
                StringPrintf("%zu nodes", nodes_.size()), true);
   return merged;
@@ -341,6 +358,10 @@ CompactionStats ClusterGdprStore::GetCompactionStats() {
   });
   CompactionStats merged;
   for (const auto& part : parts) merged.Merge(part);
+  // The router's own chain counts too — keep this consistent with what
+  // CompactNow reports.
+  merged.audit_segments += audit_log_.segment_count();
+  merged.audit_dropped_entries += audit_log_.dropped_entries_total();
   return merged;
 }
 

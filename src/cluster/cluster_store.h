@@ -47,6 +47,11 @@ struct ClusterOptions {
   // Per-node inner KV template. When an AOF path is set, node i appends
   // ".node<i>" so logs do not collide.
   kv::Options kv;
+  // Durable audit-chain template. When audit.path is set, node i persists
+  // its chain at "<path>.node<i>" and the router's own chain (MOVE-SLOTS /
+  // COMPACT-ALL trail) at "<path>.router", so every chain re-verifies
+  // independently after a full-cluster restart.
+  AuditLogOptions audit;
 };
 
 class ClusterGdprStore : public GdprStore {

@@ -2,37 +2,537 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/coding.h"
 #include "crypto/sha256.h"
 
 namespace gdpr {
 
+namespace {
+
+constexpr char kGenesis[] = "audit-chain-genesis";
+// Segment frame vocabulary:
+//   'A' <epoch:varint> <anchor:lenprefixed>   segment header. In segment 1
+//       the anchor is the chain's verification anchor (genesis, or the
+//       head re-anchored by the last compaction); in later segments it is
+//       the running head at the boundary, a cross-check that rotation and
+//       replay agree. The epoch fences segments orphaned by a crash
+//       mid-compaction (same trick as the WAL's 'E' stamp).
+//   'G' <hash:lenprefixed> <n:varint> <entries> one sealed group; hash =
+//       SHA256(prev_head || entries) and must recompute on replay.
+constexpr char kFrameHeader = 'A';
+constexpr char kFrameGroup = 'G';
+
+}  // namespace
+
 AuditLog::AuditLog(size_t seal_interval)
     : seal_interval_(seal_interval ? seal_interval : 1),
-      head_("audit-chain-genesis") {}
+      head_(kGenesis),
+      anchor_(kGenesis) {}
+
+void AuditLog::EncodeEntry(std::string* dst, const AuditEntry& e) {
+  PutFixed64(dst, uint64_t(e.timestamp_micros));
+  PutLengthPrefixed(dst, e.actor_id);
+  dst->push_back(char(e.role));
+  PutLengthPrefixed(dst, e.op);
+  PutLengthPrefixed(dst, e.key);
+  dst->push_back(e.allowed ? 1 : 0);
+}
+
+bool AuditLog::DecodeEntry(std::string_view* in, AuditEntry* e) {
+  uint64_t ts = 0;
+  std::string_view actor, op, key;
+  if (!GetFixed64(in, &ts) || !GetLengthPrefixed(in, &actor) || in->empty()) {
+    return false;
+  }
+  const uint8_t role = uint8_t(in->front());
+  in->remove_prefix(1);
+  if (role > uint8_t(Actor::Role::kRegulator)) return false;
+  if (!GetLengthPrefixed(in, &op) || !GetLengthPrefixed(in, &key) ||
+      in->empty()) {
+    return false;
+  }
+  const uint8_t allowed = uint8_t(in->front());
+  in->remove_prefix(1);
+  if (allowed > 1) return false;
+  e->timestamp_micros = int64_t(ts);
+  e->actor_id = std::string(actor);
+  e->role = Actor::Role(role);
+  e->op = std::string(op);
+  e->key = std::string(key);
+  e->allowed = allowed != 0;
+  return true;
+}
+
+size_t AuditLog::EntryCost(const AuditEntry& e) {
+  return 32 + e.actor_id.size() + e.op.size() + e.key.size() + 10;
+}
 
 std::string AuditLog::GroupStep(const std::string& prev,
                                 const AuditEntry* begin, size_t n) {
+  std::string payload;
+  for (size_t i = 0; i < n; ++i) EncodeEntry(&payload, begin[i]);
+  return GroupStepEncoded(prev, payload);
+}
+
+std::string AuditLog::GroupStepEncoded(const std::string& prev,
+                                       const std::string& payload) {
   std::string buf = prev;
-  for (size_t i = 0; i < n; ++i) {
-    const AuditEntry& e = begin[i];
-    PutFixed64(&buf, uint64_t(e.timestamp_micros));
-    PutLengthPrefixed(&buf, e.actor_id);
-    buf.push_back(char(e.role));
-    PutLengthPrefixed(&buf, e.op);
-    PutLengthPrefixed(&buf, e.key);
-    buf.push_back(e.allowed ? 1 : 0);
-  }
+  buf += payload;
   const Sha256::Digest d = Sha256::Hash(buf);
   return std::string(reinterpret_cast<const char*>(d.data()), d.size());
 }
 
+std::string AuditLog::SegmentPath(uint64_t n) const {
+  return opts_.path + ".seg" + std::to_string(n);
+}
+
+Status AuditLog::SyncWithPolicyLocked() const {
+  switch (opts_.sync_policy) {
+    case SyncPolicy::kAlways:
+      return active_->Sync();
+    case SyncPolicy::kEverySec: {
+      const int64_t now = RealClock::Default()->NowMicros();
+      if (now - last_sync_micros_ >= 1000000) {
+        last_sync_micros_ = now;
+        return active_->Sync();
+      }
+      return Status::OK();
+    }
+    case SyncPolicy::kNever:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status AuditLog::WriteSegmentHeaderLocked(WritableFile* f, uint64_t epoch,
+                                          const std::string& anchor,
+                                          uint64_t* bytes) const {
+  std::string frame(1, kFrameHeader);
+  PutVarint64(&frame, epoch);
+  PutLengthPrefixed(&frame, anchor);
+  Status s = f->Append(frame);
+  // Headers are rare (one per rotation) and anchor the whole segment's
+  // meaning: always sync them regardless of policy.
+  if (s.ok()) s = f->Sync();
+  if (s.ok() && bytes) *bytes = frame.size();
+  return s;
+}
+
+Status AuditLog::OpenDurable(const AuditLogOptions& opts) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (durable_) return Status::OK();
+  if (opts.path.empty()) {
+    return Status::InvalidArgument("durable audit log requires a path");
+  }
+  opts_ = opts;
+  if (!opts_.env) opts_.env = Env::Posix();
+  // Disk is authoritative: the replayed chain replaces any in-memory state
+  // (a clean CloseDurable sealed everything to disk first, so a reopen on
+  // the same object loses nothing).
+  entries_.clear();
+  group_sizes_.clear();
+  pending_ = 0;
+  bytes_ = 0;
+  anchor_ = kGenesis;
+  head_ = kGenesis;
+  epoch_ = 0;
+  active_seg_ = 1;
+  active_bytes_ = 0;
+  io_status_ = Status::OK();
+  last_sync_micros_ = RealClock::Default()->NowMicros();
+  // A leftover temp (compaction or tail-fix) means a crash before its
+  // atomic rename: the existing segments are authoritative.
+  for (const char* suffix : {".compact.tmp", ".tailfix.tmp"}) {
+    const std::string tmp_path = opts_.path + suffix;
+    if (opts_.env->FileExists(tmp_path)) opts_.env->DeleteFile(tmp_path).ok();
+  }
+  Status s = ReplayLocked();
+  if (!s.ok()) {
+    // Don't present the partially-replayed prefix as a healthy chain: a
+    // diagnostic VerifyChain() on this object after a refused open would
+    // otherwise report "verified" over exactly the bytes the open rejected.
+    entries_.clear();
+    group_sizes_.clear();
+    head_ = kGenesis;
+    anchor_ = kGenesis;
+    bytes_ = 0;
+    active_.reset();
+    return s;
+  }
+  durable_ = true;
+  return Status::OK();
+}
+
+Status AuditLog::ReplayLocked() {
+  Env* env = opts_.env;
+  if (!env->FileExists(SegmentPath(1))) {
+    // Fresh chain: establish segment 1 with a genesis-anchored header.
+    auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/true);
+    if (!f.ok()) return f.status();
+    active_ = std::move(f.value());
+    uint64_t hdr = 0;
+    Status s = WriteSegmentHeaderLocked(active_.get(), epoch_, anchor_, &hdr);
+    if (!s.ok()) return s;
+    active_bytes_ = hdr;
+    active_seg_ = 1;
+    return Status::OK();
+  }
+  uint64_t seg = 1;
+  bool rewrote_tail = false;
+  std::string last_contents;  // valid prefix of the final segment
+  for (;; ++seg) {
+    if (!env->FileExists(SegmentPath(seg))) break;
+    auto contents = env->ReadFileToString(SegmentPath(seg));
+    if (!contents.ok()) return contents.status();
+    const bool last = !env->FileExists(SegmentPath(seg + 1));
+    std::string_view in(contents.value());
+    size_t valid = 0;
+    bool truncated = false;
+    // Header first.
+    {
+      uint64_t epoch = 0;
+      std::string_view anchor;
+      std::string_view p = in;
+      bool ok = !p.empty() && p.front() == kFrameHeader;
+      if (ok) p.remove_prefix(1);
+      ok = ok && GetVarint64(&p, &epoch) && GetLengthPrefixed(&p, &anchor);
+      if (!ok) {
+        if (!last) {
+          return Status::DataLoss("audit segment " + std::to_string(seg) +
+                                  ": unreadable header");
+        }
+        // Rotation crashed mid-header: the segment carries nothing yet.
+        truncated = true;
+      } else if (seg == 1) {
+        epoch_ = epoch;
+        anchor_ = std::string(anchor);
+        head_ = anchor_;
+        in = p;
+        valid = size_t(p.data() - contents.value().data());
+      } else if (epoch != epoch_) {
+        // Stale leftovers of an interrupted compaction (segment 1 was
+        // rewritten with a bumped epoch; these were about to be deleted).
+        // Finish the job and stop — the compacted chain is complete.
+        for (uint64_t stale = seg; env->FileExists(SegmentPath(stale));
+             ++stale) {
+          env->DeleteFile(SegmentPath(stale)).ok();
+        }
+        active_seg_ = seg - 1;
+        auto prev = env->ReadFileToString(SegmentPath(active_seg_));
+        if (!prev.ok()) return prev.status();
+        last_contents = prev.value();
+        break;
+      } else if (std::string(anchor) != head_) {
+        return Status::DataLoss("audit segment " + std::to_string(seg) +
+                                ": boundary anchor does not match the chain");
+      } else {
+        in = p;
+        valid = size_t(p.data() - contents.value().data());
+      }
+    }
+    while (!truncated && !in.empty()) {
+      std::string_view p = in;
+      bool ok = p.front() == kFrameGroup;
+      if (ok) p.remove_prefix(1);
+      std::string_view hash;
+      uint64_t n = 0;
+      ok = ok && GetLengthPrefixed(&p, &hash) && GetVarint64(&p, &n) && n > 0;
+      std::string payload;
+      std::vector<AuditEntry> decoded;
+      if (ok) {
+        decoded.reserve(size_t(n));
+        const char* payload_begin = p.data();
+        for (uint64_t i = 0; ok && i < n; ++i) {
+          AuditEntry e;
+          ok = DecodeEntry(&p, &e);
+          if (ok) decoded.push_back(std::move(e));
+        }
+        if (ok) payload.assign(payload_begin, size_t(p.data() - payload_begin));
+      }
+      if (!ok) {
+        if (!last) {
+          return Status::DataLoss("audit segment " + std::to_string(seg) +
+                                  ": torn frame before the final segment");
+        }
+        truncated = true;  // torn tail: keep the valid prefix
+        break;
+      }
+      // The hash is the tamper evidence: a fully-written frame that does
+      // not recompute is corruption, not a crash artifact.
+      const std::string expect = GroupStepEncoded(head_, payload);
+      if (std::string(hash) != expect) {
+        return Status::DataLoss("audit segment " + std::to_string(seg) +
+                                ": group hash mismatch (tamper/corruption)");
+      }
+      head_ = expect;
+      group_sizes_.push_back(uint32_t(n));
+      for (auto& e : decoded) {
+        bytes_ += EntryCost(e);
+        entries_.push_back(std::move(e));
+      }
+      in = p;
+      valid = size_t(p.data() - contents.value().data());
+    }
+    if (last) {
+      if (truncated) {
+        // Rewrite the segment to the recovered prefix: appending after torn
+        // bytes would strand every later frame on the next replay.
+        last_contents = contents.value().substr(0, valid);
+        rewrote_tail = true;
+      } else {
+        last_contents = contents.value();
+      }
+      active_seg_ = seg;
+      break;
+    }
+  }
+  if (rewrote_tail) {
+    // Truncate to the valid prefix via temp + atomic rename: rewriting the
+    // segment in place would open a window where a second crash destroys
+    // durably sealed groups, not just the torn tail.
+    const std::string tmp_path = opts_.path + ".tailfix.tmp";
+    auto tmp = env->NewWritableFile(tmp_path, /*truncate=*/true);
+    if (!tmp.ok()) return tmp.status();
+    Status s = Status::OK();
+    uint64_t rewritten = 0;
+    if (last_contents.empty()) {
+      // Even the header was torn: re-establish one for the current chain.
+      s = WriteSegmentHeaderLocked(tmp.value().get(), epoch_, head_,
+                                   &rewritten);
+    } else {
+      s = tmp.value()->Append(last_contents);
+      if (s.ok()) s = tmp.value()->Sync();
+      rewritten = last_contents.size();
+    }
+    if (s.ok()) s = tmp.value()->Close();
+    if (s.ok()) s = env->RenameFile(tmp_path, SegmentPath(active_seg_));
+    if (!s.ok()) {
+      env->DeleteFile(tmp_path).ok();
+      return s;
+    }
+    auto f = env->NewWritableFile(SegmentPath(active_seg_), /*truncate=*/false);
+    if (!f.ok()) return f.status();
+    active_ = std::move(f.value());
+    active_bytes_ = rewritten;
+  } else {
+    auto f = env->NewWritableFile(SegmentPath(active_seg_), /*truncate=*/false);
+    if (!f.ok()) return f.status();
+    active_ = std::move(f.value());
+    active_bytes_ = last_contents.size();
+  }
+  return Status::OK();
+}
+
+Status AuditLog::CloseDurable() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (!durable_) return Status::OK();
+  SealPendingLocked();  // the tail becomes a durable group
+  Status out = io_status_;
+  if (active_) {
+    Status s = active_->Sync();
+    if (out.ok() && !s.ok()) out = s;
+    s = active_->Close();
+    if (out.ok() && !s.ok()) out = s;
+    active_.reset();
+  }
+  durable_ = false;
+  return out;
+}
+
+bool AuditLog::durable() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return durable_;
+}
+
+Status AuditLog::durable_status() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return io_status_;
+}
+
+void AuditLog::PersistGroupLocked(const std::string& payload, size_t n) const {
+  if (!active_ || !io_status_.ok()) {
+    // After one failed group the disk chain is a strict prefix; writing a
+    // later group would leave a hash gap that replay must reject. Stay
+    // offline until a compaction rewrites the full chain from memory.
+    return;
+  }
+  std::string frame(1, kFrameGroup);
+  PutLengthPrefixed(&frame, head_);
+  PutVarint64(&frame, n);
+  frame += payload;
+  Status s = active_->Append(frame);
+  if (s.ok()) s = SyncWithPolicyLocked();
+  if (!s.ok()) {
+    io_status_ = s;
+    return;
+  }
+  active_bytes_ += frame.size();
+  if (opts_.rotate_bytes != 0 && active_bytes_ >= opts_.rotate_bytes) {
+    RotateLocked();
+  }
+}
+
+void AuditLog::RotateLocked() const {
+  Status s = active_->Sync();
+  if (s.ok()) s = active_->Close();
+  if (!s.ok()) {
+    io_status_ = s;
+    return;
+  }
+  active_.reset();
+  ++active_seg_;
+  // truncate=true: a stale same-numbered file (fenced leftover of an old
+  // incarnation) must not leak frames ahead of ours.
+  auto f = opts_.env->NewWritableFile(SegmentPath(active_seg_),
+                                      /*truncate=*/true);
+  if (!f.ok()) {
+    io_status_ = f.status();
+    --active_seg_;
+    return;
+  }
+  active_ = std::move(f.value());
+  uint64_t hdr = 0;
+  s = WriteSegmentHeaderLocked(active_.get(), epoch_, head_, &hdr);
+  if (!s.ok()) {
+    io_status_ = s;
+    return;
+  }
+  active_bytes_ = hdr;
+}
+
+StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
+  std::lock_guard<std::mutex> l(mu_);
+  AuditCompactResult res;
+  if (!durable_) return res;
+  res.segments_before = active_seg_;
+  res.segments_after = active_seg_;
+  SealPendingLocked();
+  // A latched append failure means the disk chain is a stale prefix of the
+  // in-memory one; the rewrite below re-persists the whole chain from
+  // memory, so it must run even when retention is unset or nothing aged
+  // out — otherwise the documented "compaction heals the backing" promise
+  // would silently depend on the retention knob.
+  const bool heal = !io_status_.ok();
+  // Droppable = maximal prefix of whole groups entirely older than the
+  // cutoff (the chain is group-granular; a half-dropped group could never
+  // re-verify). Entries are in timestamp order, so checking each group's
+  // newest entry suffices.
+  size_t drop_groups = 0, drop_entries = 0;
+  if (opts_.retention_micros > 0) {
+    const int64_t cutoff = now_micros - opts_.retention_micros;
+    for (const uint32_t n : group_sizes_) {
+      const AuditEntry& newest = entries_[drop_entries + n - 1];
+      if (newest.timestamp_micros > cutoff) break;
+      ++drop_groups;
+      drop_entries += n;
+    }
+  }
+  if (drop_groups == 0 && !heal) return res;
+  // New anchor = chain head at the drop boundary (the pre-compaction head
+  // of everything dropped). Surviving group hashes are unchanged: their
+  // prev-links never referenced the dropped bytes, only this hash.
+  std::string new_anchor = anchor_;
+  {
+    size_t at = 0;
+    for (size_t g = 0; g < drop_groups; ++g) {
+      new_anchor = GroupStep(new_anchor, entries_.data() + at, group_sizes_[g]);
+      at += group_sizes_[g];
+    }
+  }
+  Env* env = opts_.env;
+  // Quiesce the active handle: the rewrite replaces its file.
+  if (active_) {
+    active_->Sync().ok();
+    active_->Close().ok();
+    active_.reset();
+  }
+  const std::string tmp_path = opts_.path + ".compact.tmp";
+  auto reopen_active = [&]() {
+    auto f = env->NewWritableFile(SegmentPath(active_seg_), /*truncate=*/false);
+    if (f.ok()) active_ = std::move(f.value());
+    else io_status_ = f.status();
+  };
+  auto tmp = env->NewWritableFile(tmp_path, /*truncate=*/true);
+  if (!tmp.ok()) {
+    reopen_active();
+    return tmp.status();
+  }
+  const uint64_t next_epoch = epoch_ + 1;
+  uint64_t hdr = 0;
+  Status s =
+      WriteSegmentHeaderLocked(tmp.value().get(), next_epoch, new_anchor, &hdr);
+  uint64_t new_bytes = hdr;
+  std::string chain = new_anchor;
+  size_t at = drop_entries;
+  for (size_t g = drop_groups; s.ok() && g < group_sizes_.size(); ++g) {
+    const uint32_t n = group_sizes_[g];
+    std::string payload;
+    for (uint32_t i = 0; i < n; ++i) EncodeEntry(&payload, entries_[at + i]);
+    chain = GroupStepEncoded(chain, payload);
+    std::string frame(1, kFrameGroup);
+    PutLengthPrefixed(&frame, chain);
+    PutVarint64(&frame, n);
+    frame += payload;
+    s = tmp.value()->Append(frame);
+    new_bytes += frame.size();
+    at += n;
+  }
+  if (s.ok()) s = tmp.value()->Sync();
+  if (s.ok()) s = tmp.value()->Close();
+  if (!s.ok()) {
+    env->DeleteFile(tmp_path).ok();
+    reopen_active();
+    return s;
+  }
+  // Commit point. A crash before this rename leaves the old segments
+  // authoritative (the temp is discarded on the next open); after it, the
+  // epoch bump fences the not-yet-deleted old segments off.
+  s = env->RenameFile(tmp_path, SegmentPath(1));
+  if (!s.ok()) {
+    env->DeleteFile(tmp_path).ok();
+    reopen_active();
+    return s;
+  }
+  for (uint64_t stale = 2; stale <= active_seg_ ||
+                           env->FileExists(SegmentPath(stale));
+       ++stale) {
+    env->DeleteFile(SegmentPath(stale)).ok();
+  }
+  epoch_ = next_epoch;
+  entries_.erase(entries_.begin(), entries_.begin() + drop_entries);
+  group_sizes_.erase(group_sizes_.begin(), group_sizes_.begin() + drop_groups);
+  bytes_ = 0;
+  for (const AuditEntry& e : entries_) bytes_ += EntryCost(e);
+  anchor_ = new_anchor;
+  dropped_entries_total_ += drop_entries;
+  active_seg_ = 1;
+  active_bytes_ = new_bytes;
+  // The rewrite re-persisted the entire surviving chain from memory, so a
+  // previously latched append failure is healed.
+  io_status_ = Status::OK();
+  auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/false);
+  if (!f.ok()) {
+    io_status_ = f.status();
+    return f.status();
+  }
+  active_ = std::move(f.value());
+  res.dropped_entries = drop_entries;
+  res.dropped_groups = drop_groups;
+  res.segments_after = 1;
+  return res;
+}
+
 void AuditLog::SealPendingLocked() const {
   if (pending_ == 0) return;
-  head_ = GroupStep(head_, entries_.data() + (entries_.size() - pending_),
-                    pending_);
-  group_sizes_.push_back(uint32_t(pending_));
+  const size_t n = pending_;
+  std::string payload;
+  const AuditEntry* begin = entries_.data() + (entries_.size() - n);
+  for (size_t i = 0; i < n; ++i) EncodeEntry(&payload, begin[i]);
+  head_ = GroupStepEncoded(head_, payload);
+  group_sizes_.push_back(uint32_t(n));
   pending_ = 0;
+  if (durable_) PersistGroupLocked(payload, n);
 }
 
 void AuditLog::Append(AuditEntry entry) {
@@ -42,7 +542,7 @@ void AuditLog::Append(AuditEntry entry) {
       entry.timestamp_micros < entries_.back().timestamp_micros) {
     entry.timestamp_micros = entries_.back().timestamp_micros;
   }
-  bytes_ += 32 + entry.actor_id.size() + entry.op.size() + entry.key.size() + 10;
+  bytes_ += EntryCost(entry);
   entries_.push_back(std::move(entry));
   if (++pending_ >= seal_interval_) SealPendingLocked();
 }
@@ -77,7 +577,7 @@ std::string AuditLog::head_hash() const {
 bool AuditLog::VerifyChain() const {
   std::lock_guard<std::mutex> l(mu_);
   SealPendingLocked();
-  std::string h = "audit-chain-genesis";
+  std::string h = anchor_;
   size_t at = 0;
   for (const uint32_t n : group_sizes_) {
     if (at + n > entries_.size()) return false;
@@ -97,8 +597,71 @@ void AuditLog::Clear() {
   entries_.clear();
   group_sizes_.clear();
   pending_ = 0;
-  head_ = "audit-chain-genesis";
+  head_ = kGenesis;
+  anchor_ = kGenesis;
   bytes_ = 0;
+  if (!durable_) return;
+  // Destroy the backing too: a cleared chain whose disk still held the old
+  // one would resurrect it on the next open. Delete the higher segments
+  // first (a crash mid-clear then leaves the old segment 1, i.e. simply an
+  // unfinished clear, never a fenced-off mix).
+  Env* env = opts_.env;
+  if (active_) {
+    active_->Close().ok();
+    active_.reset();
+  }
+  for (uint64_t seg = 2; seg <= active_seg_ || env->FileExists(SegmentPath(seg));
+       ++seg) {
+    env->DeleteFile(SegmentPath(seg)).ok();
+  }
+  ++epoch_;
+  active_seg_ = 1;
+  auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/true);
+  if (!f.ok()) {
+    io_status_ = f.status();
+    return;
+  }
+  active_ = std::move(f.value());
+  uint64_t hdr = 0;
+  Status s = WriteSegmentHeaderLocked(active_.get(), epoch_, anchor_, &hdr);
+  if (!s.ok()) {
+    io_status_ = s;
+    return;
+  }
+  active_bytes_ = hdr;
+  io_status_ = Status::OK();
+}
+
+size_t AuditLog::seal_interval() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return seal_interval_;
+}
+
+void AuditLog::set_seal_interval(size_t k) {
+  // Under mu_: Append reads seal_interval_ under the lock, so an unlocked
+  // write here would race it (TSAN-visible).
+  std::lock_guard<std::mutex> l(mu_);
+  seal_interval_ = k ? k : 1;
+}
+
+uint64_t AuditLog::segment_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return durable_ ? active_seg_ : 0;
+}
+
+uint64_t AuditLog::compaction_epoch() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return epoch_;
+}
+
+uint64_t AuditLog::dropped_entries_total() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return dropped_entries_total_;
+}
+
+std::string AuditLog::anchor_hash() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return anchor_;
 }
 
 }  // namespace gdpr

@@ -9,15 +9,33 @@
 // read of the chain itself — head_hash, VerifyChain — seals the tail
 // first, so externally the log always behaves as a fully sealed chain;
 // Query reads entries, not the chain, and never forces a seal.
+//
+// Durable backing (OpenDurable): sealed groups are framed into append-only
+// segment files `<path>.seg1`, `<path>.seg2`, ... written through
+// storage::Env. One frame per sealed group (group hash + serialized
+// entries); the unsealed tail stays memory-only until its seal, so a crash
+// loses at most the current tail — never a sealed group, and never chain
+// integrity. Open replays the segments, recomputing and checking every
+// group hash, with torn-tail tolerance on the last segment (a frame cut by
+// a crash mid-append truncates cleanly; everything before it verifies).
+// Segments rotate at rotate_bytes; Compact() drops whole aged-out groups by
+// rewriting the surviving chain behind a re-anchor frame (temp + atomic
+// rename), so regulators verify from the recorded pre-compaction head
+// instead of genesis. Segment headers carry a compaction epoch: stale
+// segments left by a crash mid-compaction are fenced off and deleted on
+// the next open, exactly like the WAL's 'E' stamp.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "gdpr/actor.h"
+#include "storage/env.h"
 
 namespace gdpr {
 
@@ -30,11 +48,57 @@ struct AuditEntry {
   bool allowed = true;
 };
 
+// Persistence knobs for the chain. `path` empty = in-memory only (the
+// pre-durability behavior). The GDPR stores plumb env + sync_policy from
+// their engine options; set path / rotate_bytes / retention_micros freely.
+struct AuditLogOptions {
+  Env* env = nullptr;  // nullptr => Env::Posix()
+  std::string path;    // segments live at <path>.seg<N>
+  SyncPolicy sync_policy = SyncPolicy::kEverySec;
+  // Rotate the active segment once it passes this size (0 = never rotate).
+  uint64_t rotate_bytes = 4 << 20;
+  // Compact() drops groups whose newest entry is older than this (0 =
+  // retain forever; Compact becomes a no-op).
+  int64_t retention_micros = 0;
+};
+
+// What a retention/compaction pass did (merged into CompactionStats by the
+// stores).
+struct AuditCompactResult {
+  uint64_t dropped_entries = 0;
+  uint64_t dropped_groups = 0;
+  uint64_t segments_before = 0;
+  uint64_t segments_after = 0;
+};
+
 class AuditLog {
  public:
   // seal_interval = 1 restores the one-hash-per-append behaviour the
   // ablation benchmarks compare against.
   explicit AuditLog(size_t seal_interval = 32);
+
+  // Attaches the chain to segment files at opts.path, replaying and
+  // re-verifying whatever a previous incarnation persisted. Replaces the
+  // in-memory chain state — call before the first Append. DataLoss when a
+  // non-tail frame is unreadable or a group hash does not recompute
+  // (tampering / corruption); a torn tail on the last segment is truncated
+  // and tolerated, like the WAL.
+  Status OpenDurable(const AuditLogOptions& opts);
+  // Seals the pending tail into a final durable group, syncs, and detaches.
+  // Returns the first swallowed I/O error if the backing ever failed.
+  Status CloseDurable();
+  bool durable() const;
+  // Sticky first I/O failure on the durable path. Once an append fails the
+  // log stops persisting (a gap would break the chain on replay) but the
+  // in-memory chain stays valid; callers decide how loudly to escalate.
+  Status durable_status() const;
+
+  // Drops whole groups whose newest entry is older than retention (see
+  // AuditLogOptions): rewrites the surviving chain into a fresh first
+  // segment behind a re-anchor frame recording the pre-compaction head via
+  // temp + atomic rename. No-op (success) when not durable, nothing aged
+  // out, or retention is 0.
+  StatusOr<AuditCompactResult> Compact(int64_t now_micros);
 
   void Append(AuditEntry entry);
   size_t size() const;
@@ -46,21 +110,47 @@ class AuditLog {
   // Head of the hash chain after sealing the pending tail.
   std::string head_hash() const;
 
-  // Verifies the chain group-by-group (a regulator's integrity check).
+  // Verifies the chain group-by-group from the anchor (genesis, or the
+  // re-anchor recorded by the last retention compaction) — a regulator's
+  // integrity check.
   bool VerifyChain() const;
 
   size_t ApproximateBytes() const;
 
   void Clear();
 
-  size_t seal_interval() const { return seal_interval_; }
-  void set_seal_interval(size_t k) { seal_interval_ = k ? k : 1; }
+  size_t seal_interval() const;
+  void set_seal_interval(size_t k);
+
+  // Observability (tests, CompactionStats).
+  uint64_t segment_count() const;
+  uint64_t compaction_epoch() const;
+  uint64_t dropped_entries_total() const;
+  std::string anchor_hash() const;
 
  private:
   // One hash step covering entries [begin, begin+n) chained onto prev.
   static std::string GroupStep(const std::string& prev, const AuditEntry* begin,
                                size_t n);
+  // Same step over pre-encoded entry bytes (the frame payload).
+  static std::string GroupStepEncoded(const std::string& prev,
+                                      const std::string& payload);
+  static void EncodeEntry(std::string* dst, const AuditEntry& e);
+  static bool DecodeEntry(std::string_view* in, AuditEntry* e);
+  static size_t EntryCost(const AuditEntry& e);
+
+  std::string SegmentPath(uint64_t n) const;
   void SealPendingLocked() const;
+  // Appends the just-sealed group's frame to the active segment and applies
+  // the sync policy; rotates when the segment passes rotate_bytes. Errors
+  // latch io_status_ and stop further persistence.
+  void PersistGroupLocked(const std::string& payload, size_t n) const;
+  void RotateLocked() const;
+  Status SyncWithPolicyLocked() const;
+  Status WriteSegmentHeaderLocked(WritableFile* f, uint64_t epoch,
+                                  const std::string& anchor,
+                                  uint64_t* bytes) const;
+  Status ReplayLocked();
 
   size_t seal_interval_;
   mutable std::mutex mu_;
@@ -73,6 +163,22 @@ class AuditLog {
   mutable size_t pending_ = 0;
   mutable std::string head_;
   size_t bytes_ = 0;
+
+  // Verification anchor: genesis, or the head recorded by the last
+  // retention compaction ('A' frame of segment 1).
+  std::string anchor_;
+
+  // --- durable backing (all guarded by mu_; mutable because sealing —
+  // which persists — happens on const chain reads) ---
+  AuditLogOptions opts_;
+  bool durable_ = false;
+  mutable std::unique_ptr<WritableFile> active_;
+  mutable uint64_t active_bytes_ = 0;
+  mutable uint64_t active_seg_ = 1;
+  uint64_t epoch_ = 0;
+  mutable Status io_status_ = Status::OK();
+  mutable int64_t last_sync_micros_ = 0;
+  uint64_t dropped_entries_total_ = 0;
 };
 
 }  // namespace gdpr

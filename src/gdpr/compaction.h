@@ -30,6 +30,11 @@ struct CompactionStats {
   // pending erasures means every erasure so far has been compacted away.
   uint64_t erasure_barrier = 0;
   uint64_t erasures_pending_compaction = 0;
+  // Durable audit chain: segment files currently backing the chain (0 when
+  // the chain is in-memory) and entries dropped by retention compaction
+  // over the store's lifetime.
+  uint64_t audit_segments = 0;
+  uint64_t audit_dropped_entries = 0;
 
   CompactionStats& Merge(const CompactionStats& o) {
     compactions += o.compactions;
@@ -41,6 +46,8 @@ struct CompactionStats {
         std::max(last_compaction_micros, o.last_compaction_micros);
     erasure_barrier = std::max(erasure_barrier, o.erasure_barrier);
     erasures_pending_compaction += o.erasures_pending_compaction;
+    audit_segments += o.audit_segments;
+    audit_dropped_entries += o.audit_dropped_entries;
     return *this;
   }
 };

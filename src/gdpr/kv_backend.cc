@@ -21,6 +21,11 @@ KvGdprStore::~KvGdprStore() { Close().ok(); }
 Status KvGdprStore::Open() {
   Status s = db_->Open();
   if (!s.ok()) return s;
+  // Audit evidence is a durability responsibility like the data it
+  // audits: replay + re-verify the chain before serving a single op.
+  s = OpenDurableAudit(options_.audit, options_.kv.env,
+                       options_.kv.sync_policy);
+  if (!s.ok()) return s;
   if (indexing() && db_->Size() > 0) {
     // AOF replay restored records below us; rebuild the secondary indexes
     // (including entries for expired-but-unreclaimed records, so erasure
@@ -43,7 +48,13 @@ Status KvGdprStore::Open() {
   return Status::OK();
 }
 
-Status KvGdprStore::Close() { return db_->Close(); }
+Status KvGdprStore::Close() {
+  // Seal + sync the audit tail first: the close itself is the last event
+  // the chain can evidence.
+  Status audit = audit_log_.CloseDurable();
+  Status s = db_->Close();
+  return s.ok() ? audit : s;
+}
 
 void KvGdprStore::Audit(const Actor& actor, const char* op,
                         const std::string& key, bool allowed) {
@@ -680,6 +691,12 @@ StatusOr<CompactionStats> KvGdprStore::CompactNow(const Actor& actor) {
     return access;
   }
   Status s = db_->CompactAof();
+  if (s.ok()) {
+    // Carry the audit chain across the pass: retention drops aged-out
+    // groups and re-anchors, leaving the surviving chain verifiable.
+    auto ac = audit_log_.Compact(NowMicros());
+    if (!ac.ok()) s = ac.status();
+  }
   Audit(actor, ops::kCompact, "", s.ok());
   if (!s.ok()) return s;
   return GetCompactionStats();
@@ -698,6 +715,8 @@ CompactionStats KvGdprStore::GetCompactionStats() {
   // Covered generationally, so a cron-triggered rewrite drains this too.
   out.erasures_pending_compaction =
       options_.kv.aof_enabled ? barrier_.Pending(aof.rewrites) : 0;
+  out.audit_segments = audit_log_.segment_count();
+  out.audit_dropped_entries = audit_log_.dropped_entries_total();
   return out;
 }
 

@@ -38,6 +38,11 @@ struct KvGdprOptions {
   // Inner KV knobs (AOF, shards, ...). clock/encryption are plumbed from
   // the fields above; set the rest freely.
   kv::Options kv;
+  // Durable audit chain: with audit.path set, the hash chain persists to
+  // <path>.seg<N> and re-verifies across restarts. env and sync_policy are
+  // plumbed from the kv options; set path / rotate_bytes / retention_micros
+  // freely. Empty path = in-memory chain (the pre-PR-5 behavior).
+  AuditLogOptions audit;
 };
 
 class KvGdprStore : public GdprStore {

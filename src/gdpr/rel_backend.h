@@ -24,6 +24,11 @@ struct RelGdprOptions {
   // Inner engine knobs (WAL, statement log, ...). clock/encryption are
   // plumbed from the fields above.
   rel::RelOptions rel;
+  // Durable audit chain: with audit.path set, the hash chain persists to
+  // <path>.seg<N> and re-verifies across restarts. env and sync_policy are
+  // plumbed from the rel options; set path / rotate_bytes / retention_micros
+  // freely. Empty path = in-memory chain (the pre-PR-5 behavior).
+  AuditLogOptions audit;
 };
 
 class RelGdprStore : public GdprStore {

@@ -108,6 +108,23 @@ class GdprStore {
   Clock* clock() { return clock_; }
 
  protected:
+  // Shared open plumbing for the durable chain: resolves the env and sync
+  // policy from the backend's engine options (the chain persists with the
+  // store's sync policy) and attaches the segment files. No-op with no
+  // path configured.
+  Status OpenDurableAudit(AuditLogOptions audit, Env* engine_env,
+                          SyncPolicy engine_sync_policy) {
+    if (audit.path.empty()) return Status::OK();
+    if (!audit.env) audit.env = engine_env ? engine_env : Env::Posix();
+    audit.sync_policy = engine_sync_policy;
+    return audit_log_.OpenDurable(audit);
+  }
+
+  // The G 30 hash chain. Backends with a durable-audit path configured
+  // attach it to segment files in their Open() (AuditLog::OpenDurable), so
+  // the tamper-evidence chain survives restarts alongside the data it
+  // audits; CompactNow carries it across log compaction via the re-anchor
+  // contract (docs/PERSISTENCE.md, "Audit chain durability").
   AuditLog audit_log_;
   Clock* clock_ = nullptr;
 };

@@ -137,6 +137,15 @@ Status Database::Open() {
         env_->NewWritableFile(options_.statement_log_path, /*truncate=*/false);
     if (!f.ok()) return f.status();
     stmt_log_ = std::move(f.value());
+    stmt_bytes_ = 0;
+    stmt_failed_ = false;
+    if (options_.stmt_log_rotate_bytes != 0) {
+      // Resume the rotation threshold across restarts: a reopened log is
+      // as long as whatever survived the last incarnation.
+      auto existing = env_->FileSize(options_.statement_log_path);
+      if (existing.ok()) stmt_bytes_ = existing.value();
+    }
+    stmt_active_.store(true, std::memory_order_release);
   }
   const int64_t now = RealClock::Default()->NowMicros();
   wal_last_sync_ = stmt_last_sync_ = now;
@@ -147,24 +156,30 @@ Status Database::Open() {
 Status Database::Close() {
   if (!open_) return Status::OK();
   open_ = false;
-  Status s = Status::OK();
+  // First failure wins: a lost final flush/sync must not read as a clean
+  // shutdown — the recovery story depends on knowing the tail is suspect.
+  Status out = Status::OK();
+  auto record = [&out](Status s) {
+    if (out.ok() && !s.ok()) out = s;
+  };
   {
     std::lock_guard<std::mutex> l(wal_mu_);
     if (wal_) {
-      wal_->Flush().ok();
-      s = wal_->Close();
+      record(wal_->Flush());
+      record(wal_->Close());
       wal_.reset();
     }
   }
+  stmt_active_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> l(stmt_mu_);
     if (stmt_log_) {
-      stmt_log_->Flush().ok();
-      stmt_log_->Close().ok();
+      record(stmt_log_->Flush());
+      record(stmt_log_->Close());
       stmt_log_.reset();
     }
   }
-  return s;
+  return out;
 }
 
 bool Database::DecodeCells(std::string_view* in, Row* out) {
@@ -438,7 +453,7 @@ Status Database::Insert(Table* t, Row row) {
       if (!s.ok()) return s;
     }
   }
-  if (stmt_log_) return LogStatement("INSERT INTO " + t->name());
+  if (stmt_logging()) return LogStatement("INSERT INTO " + t->name());
   return Status::OK();
 }
 
@@ -497,7 +512,7 @@ StatusOr<std::vector<Row>> Database::Select(Table* t, const Predicate& pred,
       if (slot) out.push_back(DecodeRow(t, *slot));
     }
   }
-  if (stmt_log_) {
+  if (stmt_logging()) {
     Status s = LogStatement("SELECT FROM " + t->name() + " WHERE " +
                             pred.col_name + " " + pred.value.ToString());
     if (!s.ok()) return s;
@@ -520,7 +535,7 @@ StatusOr<std::vector<Row>> Database::SelectWhere(
       }
     }
   }
-  if (stmt_log_) {
+  if (stmt_logging()) {
     Status s = LogStatement("SELECT FROM " + t->name() + " WHERE <scan>");
     if (!s.ok()) return s;
   }
@@ -537,7 +552,7 @@ Status Database::ScanRows(Table* t,
       if (!fn(DecodeRow(t, *t->slots_[slot]))) break;
     }
   }
-  if (stmt_log_) {
+  if (stmt_logging()) {
     return LogStatement("SELECT FROM " + t->name() + " WHERE <scan>");
   }
   return Status::OK();
@@ -594,7 +609,7 @@ StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
       if (!s.ok()) return s;
     }
   }
-  if (stmt_log_) {
+  if (stmt_logging()) {
     Status s = LogStatement("UPDATE " + t->name());
     if (!s.ok()) return s;
   }
@@ -630,7 +645,7 @@ StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
       if (!s.ok()) return s;
     }
   }
-  if (stmt_log_) {
+  if (stmt_logging()) {
     Status s = LogStatement("DELETE FROM " + t->name());
     if (!s.ok()) return s;
   }
@@ -668,7 +683,7 @@ StatusOr<size_t> Database::DeleteWhere(
       if (!s.ok()) return s;
     }
   }
-  if (stmt_log_) {
+  if (stmt_logging()) {
     Status s = LogStatement("DELETE FROM " + t->name() + " WHERE <scan>");
     if (!s.ok()) return s;
   }
@@ -847,10 +862,57 @@ CheckpointStats Database::GetCheckpointStats() const {
 }
 
 Status Database::LogStatement(const std::string& text) {
-  if (!stmt_log_) return Status::OK();
+  // The unlocked gate reads the atomic flag, never the pointer: Close()
+  // resets stmt_log_ under stmt_mu_, and a raw pointer check here raced it.
+  if (!stmt_logging()) return Status::OK();
   std::lock_guard<std::mutex> l(stmt_mu_);
+  if (stmt_failed_) {
+    return Status::IOError("statement log offline after failed rotation");
+  }
   if (!stmt_log_) return Status::OK();
-  return AppendWithPolicy(stmt_log_.get(), text + "\n", &stmt_last_sync_);
+  Status s = AppendWithPolicy(stmt_log_.get(), text + "\n", &stmt_last_sync_);
+  if (!s.ok()) return s;
+  stmt_bytes_ += text.size() + 1;
+  if (options_.stmt_log_rotate_bytes != 0 &&
+      stmt_bytes_ >= options_.stmt_log_rotate_bytes) {
+    return RotateStatementLogLocked();
+  }
+  return Status::OK();
+}
+
+Status Database::RotateStatementLogLocked() {
+  Status s = stmt_log_->Flush();
+  if (s.ok()) s = stmt_log_->Close();
+  stmt_log_.reset();
+  const std::string& base = options_.statement_log_path;
+  const size_t max = std::max<size_t>(options_.stmt_log_max_segments, 1);
+  if (s.ok()) {
+    // Shift the retained window up; the oldest segment falls off the end.
+    env_->DeleteFile(base + "." + std::to_string(max)).ok();
+    for (size_t i = max; i-- > 1;) {
+      const std::string from = base + "." + std::to_string(i);
+      if (env_->FileExists(from)) {
+        s = env_->RenameFile(from, base + "." + std::to_string(i + 1));
+        if (!s.ok()) break;
+      }
+    }
+  }
+  if (s.ok()) s = env_->RenameFile(base, base + ".1");
+  if (s.ok()) {
+    auto f = env_->NewWritableFile(base, /*truncate=*/true);
+    if (f.ok()) {
+      stmt_log_ = std::move(f.value());
+      stmt_bytes_ = 0;
+    } else {
+      s = f.status();
+    }
+  }
+  if (!s.ok()) {
+    // Statements from here would vanish silently; refuse them instead
+    // (same loud-offline contract as a failed WAL re-establishment).
+    stmt_failed_ = true;
+  }
+  return s;
 }
 
 }  // namespace gdpr::rel

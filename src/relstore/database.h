@@ -58,6 +58,13 @@ struct RelOptions {
 
   bool log_statements = false;  // log every statement, reads included
   std::string statement_log_path;
+  // Statement-log rotation (logrotate shape): once the active log passes
+  // stmt_log_rotate_bytes it is shifted to <path>.1 (existing .1 -> .2,
+  // ...) and a fresh log opened; at most stmt_log_max_segments rotated
+  // files are kept, the oldest deleted. 0 = never rotate (the unbounded
+  // retrofit behavior).
+  uint64_t stmt_log_rotate_bytes = 0;
+  size_t stmt_log_max_segments = 4;
 
   bool encrypt_at_rest = false;
   std::string encryption_key = "reldb-at-rest-key";
@@ -230,6 +237,16 @@ class Database {
   Value EncodeCell(const Value& v);
 
   Status LogStatement(const std::string& text);
+  // Shifts <path>.i -> <path>.i+1, the active log to <path>.1, and opens a
+  // fresh one. Caller holds stmt_mu_. Failure takes statement logging
+  // offline loudly (stmt_failed_), mirroring the WAL contract.
+  Status RotateStatementLogLocked();
+  // Hot-path gate for "is statement logging on": the stmt_log_ pointer is
+  // reset by Close() under stmt_mu_, so unlocked reads of it race; this
+  // flag is what the fast paths may read.
+  bool stmt_logging() const {
+    return stmt_active_.load(std::memory_order_acquire);
+  }
   Status WalAppend(const std::string& text);
   // Pre-mutation gate: mutators apply to memory before their WAL append,
   // so an offline WAL must reject the op up front, not after the fact.
@@ -272,6 +289,9 @@ class Database {
   std::mutex stmt_mu_;
   std::unique_ptr<WritableFile> stmt_log_;
   int64_t stmt_last_sync_ = 0;
+  uint64_t stmt_bytes_ = 0;   // active statement log length; under stmt_mu_
+  bool stmt_failed_ = false;  // rotation failed: fail loudly; under stmt_mu_
+  std::atomic<bool> stmt_active_{false};
 
   bool open_ = false;
 };

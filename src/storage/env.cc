@@ -68,6 +68,15 @@ class PosixEnv : public Env {
     return ss.str();
   }
 
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0) {
+      return errno == ENOENT ? Status::NotFound(path)
+                             : Status::IOError(path + ": " + strerror(errno));
+    }
+    return uint64_t(st.st_size);
+  }
+
   Status DeleteFile(const std::string& path) override {
     if (unlink(path.c_str()) != 0 && errno != ENOENT) {
       return Status::IOError(path + ": " + strerror(errno));
@@ -129,6 +138,13 @@ StatusOr<std::string> MemEnv::ReadFileToString(const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   return it->second;
+}
+
+StatusOr<uint64_t> MemEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return uint64_t(it->second.size());
 }
 
 Status MemEnv::DeleteFile(const std::string& path) {

@@ -34,6 +34,8 @@ class Env {
   virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) = 0;
   virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+  // Length in bytes without reading the contents; NotFound when absent.
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
   virtual Status DeleteFile(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
   // Atomically replaces `to` with `from` (the compaction commit point: a
@@ -49,6 +51,7 @@ class MemEnv : public Env {
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) override;
   StatusOr<std::string> ReadFileToString(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;

@@ -31,7 +31,7 @@ MARKERS = ("BENCH_RESULT_JSON", "BENCH_JSON")
 # Field-name suffix/substring -> True when higher is better.
 HIGHER_IS_BETTER = ("ops_per_sec", "speedup", "throughput", "ops")
 LOWER_IS_BETTER = ("_us", "_ms", "latency", "bytes", "amplification",
-                   "delay", "p50", "p99", "y")
+                   "delay", "p50", "p99", "y", "overhead")
 
 
 def parse_jsonl(path):
