@@ -97,8 +97,19 @@ std::vector<GdprRecord> ClusterGdprStore::MergeRecords(
   *status = Status::OK();
   std::vector<GdprRecord> out;
   std::unordered_set<std::string> seen;
+  size_t unavailable = 0;
+  Status first_unavailable = Status::OK();
   for (auto& part : parts) {
     if (!part.ok()) {
+      if (part.status().IsUnavailable()) {
+        // A degraded node refusing the sub-query: route around it — its
+        // records are a partition the healthy nodes don't hold, but a
+        // partial answer beats a cluster-wide outage. (Point ops to its
+        // slots still surface the refusal directly.)
+        ++unavailable;
+        if (first_unavailable.ok()) first_unavailable = part.status();
+        continue;
+      }
       // Access decisions depend only on (actor, flags), so every node
       // returns the same verdict; surface the first denial.
       *status = part.status();
@@ -107,6 +118,10 @@ std::vector<GdprRecord> ClusterGdprStore::MergeRecords(
     for (auto& rec : part.value()) {
       if (seen.insert(rec.key).second) out.push_back(std::move(rec));
     }
+  }
+  if (unavailable == parts.size() && unavailable > 0) {
+    *status = first_unavailable;  // nothing answered: that's an outage
+    return {};
   }
   return out;
 }
@@ -224,10 +239,27 @@ StatusOr<size_t> ClusterGdprStore::DeleteRecordsByUser(
   auto parts = FanOut<StatusOr<size_t>>([&](KvGdprStore* node) {
     return node->DeleteRecordsByUser(actor, user);
   });
+  // Forget must be durable on *every* node before it reads as success: a
+  // degraded node that cannot tombstone keeps its copies, so report the
+  // partial failure with what did get erased elsewhere — the caller (or a
+  // retry after the node heals) finishes the job.
   size_t erased = 0;
+  size_t failed_nodes = 0;
+  Status first_failure = Status::OK();
   for (const auto& part : parts) {
-    if (!part.ok()) return part.status();
+    if (!part.ok()) {
+      ++failed_nodes;
+      if (first_failure.ok()) first_failure = part.status();
+      continue;
+    }
     erased += part.value();
+  }
+  if (failed_nodes > 0) {
+    return Status(first_failure.code(),
+                  StringPrintf("user erasure incomplete: %zu of %zu nodes "
+                               "failed (%zu records erased elsewhere): ",
+                               failed_nodes, parts.size(), erased) +
+                      first_failure.message());
   }
   return erased;
 }
@@ -476,6 +508,25 @@ Status ClusterGdprStore::Rebalance() {
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+HealthState ClusterGdprStore::GetHealth() {
+  HealthState worst = audit_log_.health();
+  for (auto& node : nodes_) {
+    const HealthState h = node->GetHealth();
+    if (worst < h) worst = h;
+  }
+  return worst;
+}
+
+Status ClusterGdprStore::GetHealthCause() {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    Status c = nodes_[i]->GetHealthCause();
+    if (!c.ok()) {
+      return Status(c.code(), StringPrintf("node %zu: ", i) + c.message());
+    }
+  }
+  return audit_log_.durable_status();
 }
 
 bool ClusterGdprStore::VerifyAuditChains(std::vector<bool>* per_node) {

@@ -97,6 +97,15 @@ class ClusterGdprStore : public GdprStore {
   size_t TotalBytes() override;
   Status Reset() override;
 
+  // Worst health across every node plus the router's audit chain. A
+  // degraded node degrades the cluster *report*, but scatter-gather reads
+  // keep flowing around it (MergeRecords skips Unavailable parts) and
+  // point ops to healthy nodes' slots are unaffected.
+  HealthState GetHealth() override;
+  Status GetHealthCause() override;
+  // Per-node view (nodes_ order) for operators deciding what to drain.
+  HealthState NodeHealth(size_t i) { return nodes_[i]->GetHealth(); }
+
   // Fans the erasure-aware compaction out to every node and merges the
   // per-node stats; audited once on the router chain as COMPACT-ALL.
   StatusOr<CompactionStats> CompactNow(const Actor& actor) override;
@@ -143,6 +152,9 @@ class ClusterGdprStore : public GdprStore {
 
   // Concatenates per-node record vectors, dropping duplicate keys —
   // defense in depth should a key ever live on two nodes at once.
+  // Unavailable parts (a degraded node refusing the sub-query) are skipped
+  // so one bad disk does not take down cluster-wide reads; the merge only
+  // fails when every node is unavailable or a node reports a real error.
   static std::vector<GdprRecord> MergeRecords(
       std::vector<StatusOr<std::vector<GdprRecord>>> parts, Status* status);
 

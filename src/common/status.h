@@ -22,9 +22,13 @@ enum class StatusCode {
   kDataLoss,
   kUnimplemented,
   kInternal,
+  // The store is alive but refusing this operation — e.g. degraded
+  // read-only after a failed fsync. Retrying later (or against another
+  // node) may succeed; the data itself is not known to be damaged.
+  kUnavailable,
 };
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -58,6 +62,9 @@ class Status {
   static Status Internal(std::string m = "internal error") {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Unavailable(std::string m = "unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -68,6 +75,7 @@ class Status {
     return code_ == StatusCode::kPermissionDenied;
   }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -83,6 +91,7 @@ class Status {
       case StatusCode::kDataLoss: name = "DataLoss"; break;
       case StatusCode::kUnimplemented: name = "Unimplemented"; break;
       case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kUnavailable: name = "Unavailable"; break;
     }
     return message_.empty() ? std::string(name)
                             : std::string(name) + ": " + message_;
@@ -94,7 +103,7 @@ class Status {
 };
 
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(const T& value) : value_(value) {}          // NOLINT
   StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT

@@ -383,15 +383,23 @@ void AuditLog::RotateLocked() const {
   active_.reset();
   ++active_seg_;
   // truncate=true: a stale same-numbered file (fenced leftover of an old
-  // incarnation) must not leak frames ahead of ours.
-  auto f = opts_.env->NewWritableFile(SegmentPath(active_seg_),
-                                      /*truncate=*/true);
-  if (!f.ok()) {
-    io_status_ = f.status();
+  // incarnation) must not leak frames ahead of ours. Rotation is a
+  // background path and the truncating create is idempotent, so transient
+  // failures get a bounded retry before the latch trips.
+  std::unique_ptr<WritableFile> next;
+  Status fs = RetryIo(opts_.io_policy, [&] {
+    auto f = opts_.env->NewWritableFile(SegmentPath(active_seg_),
+                                        /*truncate=*/true);
+    if (!f.ok()) return f.status();
+    next = std::move(f.value());
+    return Status::OK();
+  });
+  if (!fs.ok()) {
+    io_status_ = fs;
     --active_seg_;
     return;
   }
-  active_ = std::move(f.value());
+  active_ = std::move(next);
   uint64_t hdr = 0;
   s = WriteSegmentHeaderLocked(active_.get(), epoch_, head_, &hdr);
   if (!s.ok()) {
@@ -453,15 +461,20 @@ StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
     if (f.ok()) active_ = std::move(f.value());
     else io_status_ = f.status();
   };
-  auto tmp = env->NewWritableFile(tmp_path, /*truncate=*/true);
-  if (!tmp.ok()) {
+  std::unique_ptr<WritableFile> tmpf;
+  Status tmp_s = RetryIo(opts_.io_policy, [&] {
+    auto f = env->NewWritableFile(tmp_path, /*truncate=*/true);
+    if (!f.ok()) return f.status();
+    tmpf = std::move(f.value());
+    return Status::OK();
+  });
+  if (!tmp_s.ok()) {
     reopen_active();
-    return tmp.status();
+    return tmp_s;
   }
   const uint64_t next_epoch = epoch_ + 1;
   uint64_t hdr = 0;
-  Status s =
-      WriteSegmentHeaderLocked(tmp.value().get(), next_epoch, new_anchor, &hdr);
+  Status s = WriteSegmentHeaderLocked(tmpf.get(), next_epoch, new_anchor, &hdr);
   uint64_t new_bytes = hdr;
   std::string chain = new_anchor;
   size_t at = drop_entries;
@@ -474,12 +487,12 @@ StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
     PutLengthPrefixed(&frame, chain);
     PutVarint64(&frame, n);
     frame += payload;
-    s = tmp.value()->Append(frame);
+    s = tmpf->Append(frame);
     new_bytes += frame.size();
     at += n;
   }
-  if (s.ok()) s = tmp.value()->Sync();
-  if (s.ok()) s = tmp.value()->Close();
+  if (s.ok()) s = tmpf->Sync();
+  if (s.ok()) s = tmpf->Close();
   if (!s.ok()) {
     env->DeleteFile(tmp_path).ok();
     reopen_active();
@@ -488,7 +501,8 @@ StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
   // Commit point. A crash before this rename leaves the old segments
   // authoritative (the temp is discarded on the next open); after it, the
   // epoch bump fences the not-yet-deleted old segments off.
-  s = env->RenameFile(tmp_path, SegmentPath(1));
+  s = RetryIo(opts_.io_policy,
+              [&] { return env->RenameFile(tmp_path, SegmentPath(1)); });
   if (!s.ok()) {
     env->DeleteFile(tmp_path).ok();
     reopen_active();
@@ -511,12 +525,16 @@ StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
   // The rewrite re-persisted the entire surviving chain from memory, so a
   // previously latched append failure is healed.
   io_status_ = Status::OK();
-  auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/false);
-  if (!f.ok()) {
-    io_status_ = f.status();
-    return f.status();
+  Status rs = RetryIo(opts_.io_policy, [&] {
+    auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/false);
+    if (!f.ok()) return f.status();
+    active_ = std::move(f.value());
+    return Status::OK();
+  });
+  if (!rs.ok()) {
+    io_status_ = rs;
+    return rs;
   }
-  active_ = std::move(f.value());
   res.dropped_entries = drop_entries;
   res.dropped_groups = drop_groups;
   res.segments_after = 1;

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/health.h"
 #include "common/status.h"
 #include "gdpr/actor.h"
 #include "storage/env.h"
@@ -60,6 +61,9 @@ struct AuditLogOptions {
   // Compact() drops groups whose newest entry is older than this (0 =
   // retain forever; Compact becomes a no-op).
   int64_t retention_micros = 0;
+  // Bounded retry for transient failures on background paths (segment
+  // rotation, compaction temp). Hot-path group appends never retry.
+  IoFailurePolicy io_policy;
 };
 
 // What a retention/compaction pass did (merged into CompactionStats by the
@@ -92,6 +96,14 @@ class AuditLog {
   // log stops persisting (a gap would break the chain on replay) but the
   // in-memory chain stays valid; callers decide how loudly to escalate.
   Status durable_status() const;
+  // Health view of the latch: degraded-read-only while persistence is
+  // offline (the in-memory chain still appends and verifies — the audit
+  // log never gates the store's writes itself, it feeds store health
+  // reporting). Compact() heals by rewriting the chain from memory.
+  HealthState health() const {
+    return durable_status().ok() ? HealthState::kHealthy
+                                 : HealthState::kDegradedReadOnly;
+  }
 
   // Drops whole groups whose newest entry is older than retention (see
   // AuditLogOptions): rewrites the surviving chain into a fresh first

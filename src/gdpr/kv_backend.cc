@@ -442,7 +442,14 @@ StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
     // Revalidate under the key lock: a concurrent upsert may have handed
     // the key to another subject since collection.
     auto cur = GetRecordRaw(rec.key);
-    if (!cur.ok() || !match_user(cur.value())) continue;
+    if (!cur.ok()) {
+      if (cur.status().IsNotFound()) continue;  // erased concurrently
+      // Resident but unreadable: skipping it silently would under-delete
+      // behind a successful ack.
+      Audit(actor, ops::kDeleteUser, user, false);
+      return cur.status();
+    }
+    if (!match_user(cur.value())) continue;
     Status s = EraseRecord(cur.value());
     if (!s.ok()) {
       // Partial erasure must not read as success: surface the failure.
@@ -533,7 +540,12 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
     for (const auto& rec : dead) {
       std::lock_guard<std::mutex> key_lock(KeyMutex(rec.key));
       auto cur = GetRecordRaw(rec.key);
-      if (!cur.ok() || cur.value().metadata.expiry_micros == 0 ||
+      if (!cur.ok()) {
+        if (cur.status().IsNotFound()) continue;  // already reclaimed
+        Audit(actor, ops::kDeleteExpired, "", false);
+        return cur.status();
+      }
+      if (cur.value().metadata.expiry_micros == 0 ||
           cur.value().metadata.expiry_micros > now) {
         continue;  // re-created or TTL extended since collection
       }
@@ -718,6 +730,18 @@ CompactionStats KvGdprStore::GetCompactionStats() {
   out.audit_segments = audit_log_.segment_count();
   out.audit_dropped_entries = audit_log_.dropped_entries_total();
   return out;
+}
+
+HealthState KvGdprStore::GetHealth() {
+  const HealthState engine = db_->Health();
+  const HealthState audit = audit_log_.health();
+  return engine < audit ? audit : engine;
+}
+
+Status KvGdprStore::GetHealthCause() {
+  Status engine = db_->HealthCause();
+  if (!engine.ok()) return engine;
+  return audit_log_.durable_status();
 }
 
 }  // namespace gdpr

@@ -88,6 +88,12 @@ class KvGdprStore : public GdprStore {
   size_t TotalBytes() override;
   Status Reset() override;
 
+  // Worst of the inner KV's AOF health and the audit chain's persistence
+  // latch; mutations are gated inside MemKV, so a degraded report here
+  // always comes with Unavailable on the write paths.
+  HealthState GetHealth() override;
+  Status GetHealthCause() override;
+
   // Erasure-aware AOF rewrite: snapshot live records + tombstones, truncate
   // the log. After this no pre-barrier frame of an erased record is on disk.
   StatusOr<CompactionStats> CompactNow(const Actor& actor) override;

@@ -466,21 +466,28 @@ StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
     Audit(actor, ops::kDeleteUser, user, false);
     return access;
   }
+  // A collection query that fails must fail the erasure: acking "0 erased"
+  // when the store could not even enumerate the user's rows is a vacuous
+  // success a regulator would read as complete erasure.
   std::vector<std::string> keys;
   if (indexing()) {
     auto rows = db_->Select(records_,
                             rel::Compare(kUser, rel::CompareOp::kEq,
                                          rel::Value(user), "user"));
-    if (rows.ok()) {
-      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    if (!rows.ok()) {
+      Audit(actor, ops::kDeleteUser, user, false);
+      return rows.status();
     }
+    for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
   } else {
     auto rows = db_->SelectWhere(records_, [&](const rel::Row& row) {
       return row[kUser].AsString() == user;
     });
-    if (rows.ok()) {
-      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    if (!rows.ok()) {
+      Audit(actor, ops::kDeleteUser, user, false);
+      return rows.status();
     }
+    for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
   }
   size_t erased = 0;
   for (const auto& k : keys) {
@@ -491,9 +498,14 @@ StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
                             rel::Compare(kKey, rel::CompareOp::kEq,
                                          rel::Value(k), "key"),
                             1);
-    if (!rows.ok() || rows.value().empty() ||
-        rows.value()[0][kUser].AsString() != user) {
-      continue;
+    if (!rows.ok()) {
+      // An unreadable row may still belong to this user; skipping it
+      // silently would under-delete behind a successful ack.
+      Audit(actor, ops::kDeleteUser, user, false);
+      return rows.status();
+    }
+    if (rows.value().empty() || rows.value()[0][kUser].AsString() != user) {
+      continue;  // legitimately gone or reassigned since collection
     }
     auto removed = RemoveKey(k, /*tombstone=*/true);
     if (!removed.ok()) {
@@ -521,16 +533,20 @@ StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
     auto rows = db_->Select(records_,
                             rel::Compare(kExpiry, rel::CompareOp::kLe,
                                          rel::Value(now), "expiry"));
-    if (rows.ok()) {
-      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    if (!rows.ok()) {
+      Audit(actor, ops::kDeleteExpired, "", false);
+      return rows.status();
     }
+    for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
   } else {
     auto rows = db_->SelectWhere(records_, [&](const rel::Row& row) {
       return RowExpired(row, now);
     });
-    if (rows.ok()) {
-      for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
+    if (!rows.ok()) {
+      Audit(actor, ops::kDeleteExpired, "", false);
+      return rows.status();
     }
+    for (const auto& row : rows.value()) keys.push_back(row[kKey].AsString());
   }
   size_t erased = 0;
   for (const auto& k : keys) {
@@ -539,8 +555,12 @@ StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
                             rel::Compare(kKey, rel::CompareOp::kEq,
                                          rel::Value(k), "key"),
                             1);
-    if (!rows.ok() || rows.value().empty() ||
-        !RowExpired(rows.value()[0], now)) {
+    if (!rows.ok()) {
+      // The TTL sweep cannot honestly claim this row was handled.
+      Audit(actor, ops::kDeleteExpired, "", false);
+      return rows.status();
+    }
+    if (rows.value().empty() || !RowExpired(rows.value()[0], now)) {
       continue;  // re-created or TTL extended since collection
     }
     auto removed = RemoveKey(k, /*tombstone=*/true);
@@ -674,6 +694,18 @@ CompactionStats RelGdprStore::GetCompactionStats() {
   out.audit_segments = audit_log_.segment_count();
   out.audit_dropped_entries = audit_log_.dropped_entries_total();
   return out;
+}
+
+HealthState RelGdprStore::GetHealth() {
+  const HealthState engine = db_->Health();
+  const HealthState audit = audit_log_.health();
+  return engine < audit ? audit : engine;
+}
+
+Status RelGdprStore::GetHealthCause() {
+  Status engine = db_->HealthCause();
+  if (!engine.ok()) return engine;
+  return audit_log_.durable_status();
 }
 
 }  // namespace gdpr

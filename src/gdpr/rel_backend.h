@@ -80,6 +80,11 @@ class RelGdprStore : public GdprStore {
   StatusOr<CompactionStats> CompactNow(const Actor& actor) override;
   CompactionStats GetCompactionStats() override;
 
+  // Worst of the engine's WAL/statement-log health and the audit chain's
+  // persistence latch; mutations are gated inside rel::Database.
+  HealthState GetHealth() override;
+  Status GetHealthCause() override;
+
   rel::Database* raw() { return db_.get(); }
   const RelGdprOptions& options() const { return options_; }
 

@@ -104,6 +104,17 @@ class GdprStore {
   // Drops all records and derived state (not the audit trail); bench reload.
   virtual Status Reset() = 0;
 
+  // Store health (docs/PERSISTENCE.md, "Failure policy"): kHealthy, or
+  // kDegradedReadOnly once a durability path failed — mutations and Forget
+  // return Unavailable while reads and metadata queries keep serving from
+  // memory — or kFailed when replay-on-open could not rebuild memory.
+  // Worst of the engine's durability paths and the audit chain's
+  // persistence latch (the chain contributes to *reporting* only; it never
+  // gates the engine's writes itself).
+  virtual HealthState GetHealth() = 0;
+  // First cause behind a non-healthy GetHealth(); OK when healthy.
+  virtual Status GetHealthCause() = 0;
+
   AuditLog* audit_log() { return &audit_log_; }
   Clock* clock() { return clock_; }
 

@@ -53,19 +53,46 @@ Status MemKV::Open() {
     if (options_.aof_path.empty()) {
       return Status::InvalidArgument("aof_enabled requires aof_path");
     }
-    aof_failed_.store(false, std::memory_order_release);
+    health_.Reset();
     // A leftover rewrite temp means a crash mid-compaction before the
     // atomic rename: the old AOF is authoritative, the temp is garbage.
     if (env_->FileExists(CompactTmpPath(options_.aof_path))) {
-      env_->DeleteFile(CompactTmpPath(options_.aof_path)).ok();
+      (void)env_->DeleteFile(CompactTmpPath(options_.aof_path)).ok();
     }
     if (env_->FileExists(options_.aof_path)) {
       auto contents = env_->ReadFileToString(options_.aof_path);
-      if (contents.ok()) {
-        Status s = AofReplay(contents.value());
-        if (!s.ok()) return s;
-        aof_file_bytes_.store(contents.value().size());
+      if (!contents.ok()) {
+        // An unreadable existing log must not open as an empty store: the
+        // next append would strand everything already on disk.
+        health_.Fail(contents.status());
+        return contents.status();
       }
+      size_t valid = 0;
+      Status s = AofReplay(contents.value(), &valid);
+      if (!s.ok()) {
+        health_.Fail(s);
+        return s;
+      }
+      if (valid < contents.value().size()) {
+        // Torn tail (crash mid-append or partial page writeback): keep the
+        // valid prefix and rewrite the file to it — appending after torn
+        // bytes would strand every later record. Same contract as the WAL.
+        aof_replay_stats_.truncated_tail = true;
+        aof_replay_stats_.dropped_bytes = contents.value().size() - valid;
+        auto fixed = env_->NewWritableFile(options_.aof_path,
+                                           /*truncate=*/true);
+        Status ws = fixed.ok() ? fixed.value()->Append(
+                                     std::string_view(contents.value())
+                                         .substr(0, valid))
+                               : fixed.status();
+        if (ws.ok()) ws = fixed.value()->Sync();
+        if (ws.ok()) ws = fixed.value()->Close();
+        if (!ws.ok()) {
+          health_.Fail(ws);
+          return ws;
+        }
+      }
+      aof_file_bytes_.store(valid);
     }
     auto file = env_->NewWritableFile(options_.aof_path, /*truncate=*/false);
     if (!file.ok()) return file.status();
@@ -129,9 +156,8 @@ bool MemKV::EraseLocked(Shard& s, const std::string& key, uint64_t hash) {
 
 Status MemKV::SetInternal(const std::string& key, const std::string& value,
                           int64_t expiry_abs, bool log_to_aof) {
-  if (aof_failed_.load(std::memory_order_acquire)) {
-    return Status::IOError("aof offline after failed compaction");
-  }
+  Status gate = health_.WriteGate("memkv");
+  if (!gate.ok()) return gate;
   std::string stored = value;
   if (aead_) {
     stored = aead_->Seal(value, seal_seq_.fetch_add(1));
@@ -144,6 +170,22 @@ Status MemKV::SetInternal(const std::string& key, const std::string& value,
   Shard& s = ShardFor(h);
   {
     std::unique_lock<std::shared_mutex> l(s.mu);
+    // Snapshot the displaced state before applying: a failed AOF append
+    // rolls the apply back below. A record resident in memory but absent
+    // from the log is invisible to index-driven GDPR erasure yet gets
+    // durably resurrected by the next compaction rewrite — the op must
+    // fail atomically (docs/PERSISTENCE.md, "Failure policy").
+    std::string prev_value;
+    int64_t prev_expiry = 0;
+    bool prev_existed = false;
+    if (log) {
+      const EntryBlock* prev = s.map.FindLocked(key, h);
+      if (prev != nullptr) {
+        prev_value = prev->value;
+        prev_expiry = prev->expiry_micros;
+        prev_existed = true;
+      }
+    }
     const size_t new_value_size = stored.size();
     int64_t old_expiry = 0;
     size_t old_value_size = 0;
@@ -160,7 +202,23 @@ Status MemKV::SetInternal(const std::string& key, const std::string& value,
     // Log under the shard lock: AOF order must match apply order for
     // same-key races, or replay restores the overwritten value. Lock order
     // is always shard.mu -> aof_mu_.
-    if (log) return AofAppend('S', key, aof_copy, expiry_abs);
+    if (log) {
+      Status append = AofAppend('S', key, aof_copy, expiry_abs);
+      if (!append.ok()) {
+        if (!prev_existed) {
+          EraseLocked(s, key, h);
+        } else {
+          const size_t restore_size = prev_value.size();
+          s.map.Upsert(key, h, std::move(prev_value), prev_expiry,
+                       &old_expiry, &old_value_size);
+          s.bytes -= new_value_size;
+          s.bytes += restore_size;
+          if (expiry_abs != 0 && prev_expiry == 0) UnregisterTtlLocked(s, key);
+          if (prev_expiry != 0) RegisterTtlLocked(s, key, prev_expiry);
+        }
+      }
+      return append;
+    }
   }
   return Status::OK();
 }
@@ -194,7 +252,12 @@ StatusOr<std::string> MemKV::Get(const std::string& key) {
     }
     stored = b->value;
   }
-  if (options_.log_reads && aof_active_.load(std::memory_order_acquire)) {
+  if (options_.log_reads && aof_active_.load(std::memory_order_acquire) &&
+      health_.writable()) {
+    // Degraded stores keep serving reads but stop appending 'R' evidence —
+    // the AOF handle cannot be trusted (docs/PERSISTENCE.md). The read
+    // that *discovers* the failure still errors (below): the caller must
+    // see the transition once, loudly.
     Status s2 = AppendReadLog(key);
     if (!s2.ok()) return s2;
   }
@@ -203,21 +266,43 @@ StatusOr<std::string> MemKV::Get(const std::string& key) {
 }
 
 Status MemKV::Delete(const std::string& key) {
-  if (aof_failed_.load(std::memory_order_acquire)) {
-    return Status::IOError("aof offline after failed compaction");
-  }
+  Status gate = health_.WriteGate("memkv");
+  if (!gate.ok()) return gate;
   const uint64_t h = HashKey(key);
   Shard& s = ShardFor(h);
   bool existed = false;
   {
     std::unique_lock<std::shared_mutex> l(s.mu);
+    const bool log = aof_active_.load(std::memory_order_acquire);
+    std::string prev_value;
+    int64_t prev_expiry = 0;
+    if (log) {
+      const EntryBlock* prev = s.map.FindLocked(key, h);
+      if (prev != nullptr) {
+        prev_value = prev->value;
+        prev_expiry = prev->expiry_micros;
+      }
+    }
     existed = EraseLocked(s, key, h);
     // Only a delete that actually removed something earns a 'D' frame: a
     // miss used to append one anyway, inflating the log (and the
     // compaction-ratio policy feeding on it) with no-op deletes.
-    if (existed && aof_active_.load(std::memory_order_acquire)) {
+    if (existed && log) {
       Status s2 = AofAppend('D', key, "", 0);
-      if (!s2.ok()) return s2;
+      if (!s2.ok()) {
+        // Roll the erase back: the delete failed, so the record is still
+        // resident and still served, and the caller must not treat the
+        // erasure as done. Replay of a torn 'D' tail agrees — the frame is
+        // discarded and the prior 'S' wins.
+        const size_t restore_size = prev_value.size();
+        int64_t old_expiry = 0;
+        size_t old_value_size = 0;
+        s.map.Upsert(key, h, std::move(prev_value), prev_expiry, &old_expiry,
+                     &old_value_size);
+        s.bytes += key.size() + restore_size;
+        if (prev_expiry != 0) RegisterTtlLocked(s, key, prev_expiry);
+        return s2;
+      }
     }
   }
   return existed ? Status::OK() : Status::NotFound(key);
@@ -389,9 +474,8 @@ void MemKV::Clear() {
 // set mutation and its AOF record cannot reorder for one key.
 
 Status MemKV::AddTombstone(const std::string& key) {
-  if (aof_failed_.load(std::memory_order_acquire)) {
-    return Status::IOError("aof offline after failed compaction");
-  }
+  Status gate = health_.WriteGate("memkv");
+  if (!gate.ok()) return gate;
   bool inserted;
   {
     std::lock_guard<std::mutex> l(tomb_mu_);
@@ -466,14 +550,28 @@ Status MemKV::AofAppendLocked(const std::string& rec) {
   // double-capture — snapshot AND buffer — is harmless).
   if (rewrite_active_) rewrite_buf_.append(rec);
   Status s = aof_->Append(rec);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The frame may be partially on disk (torn): appending more would
+    // strand every later record behind garbage. Degrade; a successful
+    // CompactAof — which rewrites the whole log from memory — heals.
+    health_.Degrade(s);
+    return s;
+  }
   aof_file_bytes_.fetch_add(rec.size());
-  if (options_.sync_policy == SyncPolicy::kAlways) return aof_->Sync();
+  if (options_.sync_policy == SyncPolicy::kAlways) {
+    s = aof_->Sync();
+    // fsyncgate: a failed fsync may have dropped the dirty pages while
+    // marking them clean — no retry can prove the acked tail is durable.
+    if (!s.ok()) health_.Degrade(s);
+    return s;
+  }
   if (options_.sync_policy == SyncPolicy::kEverySec) {
     const int64_t now = RealClock::Default()->NowMicros();
     if (now - last_sync_micros_ >= 1000000) {
       last_sync_micros_ = now;
-      return aof_->Sync();
+      s = aof_->Sync();
+      if (!s.ok()) health_.Degrade(s);
+      return s;
     }
   }
   return Status::OK();
@@ -504,16 +602,28 @@ Status MemKV::AppendReadLog(const std::string& key) {
 void MemKV::AofMaybeSync() {
   std::lock_guard<std::mutex> l(aof_mu_);
   if (!aof_ || options_.sync_policy != SyncPolicy::kEverySec) return;
+  if (!health_.writable()) return;
   const int64_t now = RealClock::Default()->NowMicros();
   if (now - last_sync_micros_ >= 1000000) {
     last_sync_micros_ = now;
-    aof_->Sync().ok();
+    Status s = aof_->Sync();
+    // The cron is the only fsync an everysec store may get for seconds of
+    // acked writes — swallowing its failure here would silently un-ack
+    // them on the next crash.
+    if (!s.ok()) health_.Degrade(s);
   }
 }
 
-Status MemKV::AofReplay(const std::string& contents) {
+Status MemKV::AofReplay(const std::string& contents, size_t* valid_prefix) {
   std::string_view in(contents);
   const int64_t now = NowMicros();
+  // Offset of the last fully-applied frame boundary. Parse failures stop
+  // replay here: the caller treats everything after as a torn tail and
+  // truncates the file to it (a fully-written bad frame is
+  // indistinguishable from a partial one in this unchecksummed format —
+  // the conservative move is the same either way: keep the valid prefix).
+  *valid_prefix = 0;
+  const auto mark_valid = [&] { *valid_prefix = contents.size() - in.size(); };
   while (!in.empty()) {
     const char op = in.front();
     in.remove_prefix(1);
@@ -523,23 +633,20 @@ Status MemKV::AofReplay(const std::string& contents) {
       // no longer see the true maximum — this frame carries it instead.
       // Resuming lower would reuse ChaCha20 (key, seq) nonces.
       uint64_t seq = 0;
-      if (!GetFixed64(&in, &seq)) {
-        return Status::DataLoss("truncated AOF seq record");
-      }
+      if (!GetFixed64(&in, &seq)) return Status::OK();
       uint64_t cur = seal_seq_.load();
       while (seq + 1 > cur && !seal_seq_.compare_exchange_weak(cur, seq + 1)) {
       }
+      mark_valid();
       continue;
     }
     std::string_view key;
-    if (!GetLengthPrefixed(&in, &key)) {
-      return Status::DataLoss("truncated AOF record");
-    }
+    if (!GetLengthPrefixed(&in, &key)) return Status::OK();
     if (op == 'S') {
       std::string_view value;
       uint64_t expiry = 0;
       if (!GetLengthPrefixed(&in, &value) || !GetFixed64(&in, &expiry)) {
-        return Status::DataLoss("truncated AOF set record");
+        return Status::OK();
       }
       if (aead_ && value.size() >= 8) {
         // Sealed blobs lead with their seal sequence; the counter must
@@ -561,6 +668,7 @@ Status MemKV::AofReplay(const std::string& contents) {
         Shard& s = ShardFor(h);
         std::unique_lock<std::shared_mutex> l(s.mu);
         EraseLocked(s, k, h);
+        mark_valid();
         continue;
       }
       const std::string k(key);
@@ -597,8 +705,10 @@ Status MemKV::AofReplay(const std::string& contents) {
     } else if (op == 'R') {
       // read-log entry: no state change
     } else {
-      return Status::DataLoss("unknown AOF opcode");
+      // Unknown opcode: garbage tail. Stop at the last valid boundary.
+      return Status::OK();
     }
+    mark_valid();
   }
   return Status::OK();
 }
@@ -610,10 +720,14 @@ Status MemKV::CompactAof() {
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
   const uint64_t bytes_before = aof_file_bytes_.load();
   // Phase 1: arm the mirror buffer — from here on every AofAppend is
-  // captured for the new log as well as the old one.
+  // captured for the new log as well as the old one. A degraded store may
+  // have no live handle (failed re-establishment); the rewrite proceeds
+  // anyway — memory is authoritative and a successful pass heals it.
   {
     std::lock_guard<std::mutex> l(aof_mu_);
-    if (!aof_) return Status::FailedPrecondition("aof not open");
+    if (!open_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("store not open");
+    }
     rewrite_active_ = true;
     rewrite_buf_.clear();
   }
@@ -622,19 +736,26 @@ Status MemKV::CompactAof() {
     std::lock_guard<std::mutex> l(aof_mu_);
     rewrite_active_ = false;
     rewrite_buf_.clear();
-    env_->DeleteFile(tmp_path).ok();
+    (void)env_->DeleteFile(tmp_path).ok();
   };
   // Phase 2: snapshot live state into the temp file, one shard lock at a
   // time (writers to other shards proceed). Stored values are copied
   // verbatim — sealed bytes never round-trip through plaintext. Expired-
   // but-unreclaimed entries are dropped: replay would erase them anyway.
   const std::string tmp_path = CompactTmpPath(options_.aof_path);
-  auto tmp = env_->NewWritableFile(tmp_path, /*truncate=*/true);
-  if (!tmp.ok()) {
+  // Background path: a transient ENOSPC here costs a rewrite pass, not
+  // durability — worth the bounded retry before giving up.
+  std::unique_ptr<WritableFile> out;
+  Status tmp_status = RetryIo(options_.io_policy, [&] {
+    auto tmp = env_->NewWritableFile(tmp_path, /*truncate=*/true);
+    if (!tmp.ok()) return tmp.status();
+    out = std::move(tmp.value());
+    return Status::OK();
+  });
+  if (!tmp_status.ok()) {
     abort_rewrite(tmp_path);
-    return tmp.status();
+    return tmp_status;
   }
-  std::unique_ptr<WritableFile> out = std::move(tmp.value());
   const int64_t now = NowMicros();
   uint64_t tmp_bytes = 0;
   std::string buf;
@@ -715,33 +836,43 @@ Status MemKV::CompactAof() {
     if (!st.ok()) {
       rewrite_active_ = false;
       rewrite_buf_.clear();
-      env_->DeleteFile(tmp_path).ok();
+      (void)env_->DeleteFile(tmp_path).ok();
       return st;
     }
-    aof_->Flush().ok();
-    aof_->Close().ok();
-    aof_.reset();
-    st = env_->RenameFile(tmp_path, options_.aof_path);
+    if (aof_) {
+      // Best-effort: a degraded (poisoned) handle errors here, which is
+      // fine — the rename below replaces its file wholesale.
+      (void)aof_->Flush().ok();
+      (void)aof_->Close().ok();
+      aof_.reset();
+    }
+    st = RetryIo(options_.io_policy,
+                 [&] { return env_->RenameFile(tmp_path, options_.aof_path); });
     if (st.ok()) {
-      auto reopened = env_->NewWritableFile(options_.aof_path,
-                                            /*truncate=*/false);
-      if (reopened.ok()) {
+      st = RetryIo(options_.io_policy, [&] {
+        auto reopened = env_->NewWritableFile(options_.aof_path,
+                                              /*truncate=*/false);
+        if (!reopened.ok()) return reopened.status();
         aof_ = std::move(reopened.value());
-      } else {
-        st = reopened.status();
-      }
+        return Status::OK();
+      });
     }
     rewrite_active_ = false;
     rewrite_buf_.clear();
     if (!st.ok()) {
-      // Memory state is intact but the log handle is gone. Refuse further
-      // mutations (aof_failed_) instead of accepting writes that would
-      // silently vanish on the next restart.
+      // Memory state is intact but the log handle is gone. Degrade to
+      // read-only instead of accepting writes that would silently vanish
+      // on the next restart.
       aof_active_.store(false, std::memory_order_release);
-      aof_failed_.store(true, std::memory_order_release);
+      health_.Degrade(st);
       return st;
     }
     aof_file_bytes_.store(tmp_bytes);
+    // The whole log was just rebuilt from authoritative memory and
+    // fsynced: whatever durability failure degraded the store is behind
+    // us. Writes may resume.
+    aof_active_.store(true, std::memory_order_release);
+    health_.Heal();
   }
   aof_rewrites_.fetch_add(1);
   last_rewrite_before_.store(bytes_before);

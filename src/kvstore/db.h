@@ -34,6 +34,7 @@
 
 #include "common/clock.h"
 #include "common/epoch.h"
+#include "common/health.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "crypto/aead.h"
@@ -76,6 +77,11 @@ struct Options {
   bool aof_auto_compact = false;
   uint64_t aof_compact_min_bytes = 4 << 20;
   double aof_compact_ratio = 2.0;
+
+  // Retry budget for transient I/O failures on background paths (rewrite
+  // temp creation, rename, reopen). Hot-path Sync failures never retry —
+  // see docs/PERSISTENCE.md "Failure policy".
+  IoFailurePolicy io_policy;
 };
 
 // Observability for the AOF rewrite path (surfaced through the GDPR layer
@@ -87,6 +93,15 @@ struct AofStats {
   uint64_t last_bytes_before = 0;  // log length entering the last pass
   uint64_t last_bytes_after = 0;   // ... and leaving it
   int64_t last_rewrite_micros = 0;
+};
+
+// What Open() found at the tail of the AOF. A crash mid-append (or a torn
+// page writeback) leaves a partial final record; recovery keeps the valid
+// prefix and rewrites the file to it, mirroring the WAL's torn-tail
+// contract.
+struct AofReplayStats {
+  bool truncated_tail = false;
+  uint64_t dropped_bytes = 0;
 };
 
 class MemKV {
@@ -176,6 +191,17 @@ class MemKV {
 
   const Options& options() const { return options_; }
 
+  // --- Health ---------------------------------------------------------------
+  // kHealthy -> kDegradedReadOnly when a durability path fails in a way
+  // that could lose acked writes (failed hot-path fsync, torn append,
+  // failed log re-establishment): mutations return Unavailable, reads keep
+  // serving from memory. A successful CompactAof() heals — the rewrite
+  // re-creates the whole log from authoritative memory. kFailed is
+  // terminal (replay failure on open).
+  HealthState Health() const { return health_.state(); }
+  Status HealthCause() const { return health_.cause(); }
+  AofReplayStats aof_replay_stats() const { return aof_replay_stats_; }
+
  private:
   struct HeapItem {
     int64_t expiry_micros;
@@ -224,7 +250,10 @@ class MemKV {
   // aof_mu_, a tombstoned key yields NotFound (and no 'R' frame) so the log
   // can never show a read *after* the erasure that it actually preceded.
   Status AppendReadLog(const std::string& key);
-  Status AofReplay(const std::string& contents);
+  // Applies frames up to the first unparseable point; *valid_prefix gets
+  // the byte offset of that point (== contents.size() when the log is
+  // whole). Returns non-OK only for damage replay cannot skip.
+  Status AofReplay(const std::string& contents, size_t* valid_prefix);
   void AofMaybeSync();
   static void EncodeAofRecord(std::string* dst, char op, const std::string& key,
                               const std::string& value, int64_t expiry);
@@ -244,9 +273,10 @@ class MemKV {
   // Checked on hot paths without taking aof_mu_; AofAppend re-validates
   // the pointer under the lock.
   std::atomic<bool> aof_active_{false};
-  // Set when a compaction swapped the old AOF away but could not establish
-  // the new one: mutations must fail loudly, not vanish on restart.
-  std::atomic<bool> aof_failed_{false};
+  // Degraded when the AOF can no longer be trusted to persist acked
+  // writes; mutations gate on it, reads do not.
+  HealthTracker health_;
+  AofReplayStats aof_replay_stats_;
   int64_t last_sync_micros_ = 0;
   std::atomic<uint64_t> aof_file_bytes_{0};
 

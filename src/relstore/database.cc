@@ -19,6 +19,11 @@ Database::~Database() { Close().ok(); }
 
 Status Database::Open() {
   if (open_) return Status::OK();
+  wal_health_.Reset();
+  stmt_health_.Reset();
+  // Open-time failures below mark the store kFailed, not degraded: if the
+  // on-disk state cannot be read back into memory, there is no authoritative
+  // copy left to rewrite from, so no later compaction can heal it.
   if (options_.wal_enabled) {
     if (options_.wal_path.empty()) {
       return Status::InvalidArgument("wal_enabled requires wal_path");
@@ -33,15 +38,24 @@ Status Database::Open() {
     bool has_snapshot = false;
     if (env_->FileExists(snap_path)) {
       auto snap = env_->ReadFileToString(snap_path);
-      if (!snap.ok()) return snap.status();
+      if (!snap.ok()) {
+        wal_health_.Fail(snap.status());
+        return snap.status();
+      }
       Status s = ParseSnapshot(snap.value(), &snapshot_seal_seq);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        wal_health_.Fail(s);
+        return s;
+      }
       has_snapshot = true;
       replay_stats_.from_snapshot = true;
     }
     if (env_->FileExists(options_.wal_path)) {
       auto contents = env_->ReadFileToString(options_.wal_path);
-      if (!contents.ok()) return contents.status();
+      if (!contents.ok()) {
+        wal_health_.Fail(contents.status());
+        return contents.status();
+      }
       // A truncated WAL leads with an 'E' epoch frame; a never-checkpointed
       // log starts straight at the first mutation (epoch 0).
       std::string_view body(contents.value());
@@ -63,14 +77,20 @@ Status Database::Open() {
         // and the WAL truncate. Every byte of this log is already inside
         // the snapshot — finish the interrupted truncation now.
         auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
-        if (!f.ok()) return f.status();
+        if (!f.ok()) {
+          wal_health_.Fail(f.status());
+          return f.status();
+        }
         wal_ = std::move(f.value());
         std::string frame;
         frame.push_back('E');
         PutVarint64(&frame, epoch_);
         Status s = wal_->Append(frame);
         if (s.ok()) s = wal_->Sync();
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          wal_health_.Fail(s);
+          return s;
+        }
         wal_file_bytes_.store(frame.size());
       } else {
         const size_t frame_len = size_t(body.data() - contents.value().data());
@@ -80,7 +100,10 @@ Status Database::Open() {
           // bytes would make every later record unreachable on the next
           // replay (the parser stops at the first bad frame).
           auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
-          if (!f.ok()) return f.status();
+          if (!f.ok()) {
+            wal_health_.Fail(f.status());
+            return f.status();
+          }
           wal_ = std::move(f.value());
           std::string keep =
               frame_intact ? contents.value().substr(0, frame_len + valid)
@@ -94,7 +117,10 @@ Status Database::Open() {
           if (!keep.empty()) {
             Status s = wal_->Append(keep);
             if (s.ok()) s = wal_->Sync();
-            if (!s.ok()) return s;
+            if (!s.ok()) {
+              wal_health_.Fail(s);
+              return s;
+            }
           }
           wal_file_bytes_.store(keep.size());
         } else {
@@ -111,20 +137,29 @@ Status Database::Open() {
         // Fresh WAL next to an existing snapshot: stamp the epoch so the
         // tail is recognized as post-checkpoint on the next recovery.
         auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
-        if (!f.ok()) return f.status();
+        if (!f.ok()) {
+          wal_health_.Fail(f.status());
+          return f.status();
+        }
         wal_ = std::move(f.value());
         std::string frame;
         frame.push_back('E');
         PutVarint64(&frame, epoch_);
         Status s = wal_->Append(frame);
         if (s.ok()) s = wal_->Sync();
-        if (!s.ok()) return s;
+        if (!s.ok()) {
+          wal_health_.Fail(s);
+          return s;
+        }
         wal_file_bytes_.store(frame.size());
       }
     }
     if (!wal_) {
       auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/false);
-      if (!f.ok()) return f.status();
+      if (!f.ok()) {
+        wal_health_.Fail(f.status());
+        return f.status();
+      }
       wal_ = std::move(f.value());
     }
   }
@@ -135,10 +170,12 @@ Status Database::Open() {
     }
     auto f =
         env_->NewWritableFile(options_.statement_log_path, /*truncate=*/false);
-    if (!f.ok()) return f.status();
+    if (!f.ok()) {
+      stmt_health_.Fail(f.status());
+      return f.status();
+    }
     stmt_log_ = std::move(f.value());
     stmt_bytes_ = 0;
-    stmt_failed_ = false;
     if (options_.stmt_log_rotate_bytes != 0) {
       // Resume the rotation threshold across restarts: a reopened log is
       // as long as whatever survived the last incarnation.
@@ -719,21 +756,27 @@ Status Database::AppendWithPolicy(WritableFile* f, const std::string& text,
 }
 
 Status Database::WalHealthy() {
-  std::lock_guard<std::mutex> l(wal_mu_);
-  if (wal_failed_) {
-    return Status::IOError("wal offline after failed checkpoint");
-  }
-  return Status::OK();
+  // Mutations need both durability paths: a broken WAL could lose the
+  // write itself, a broken statement log its processing evidence.
+  Status s = wal_health_.WriteGate("reldb-wal");
+  if (!s.ok()) return s;
+  return stmt_health_.WriteGate("reldb-stmt");
 }
 
 Status Database::WalAppend(const std::string& text) {
   std::lock_guard<std::mutex> l(wal_mu_);
-  if (wal_failed_) {
-    return Status::IOError("wal offline after failed checkpoint");
-  }
+  Status gate = wal_health_.WriteGate("reldb-wal");
+  if (!gate.ok()) return gate;
   if (!wal_) return Status::OK();
   Status s = AppendWithPolicy(wal_.get(), text, &wal_last_sync_);
-  if (s.ok()) wal_file_bytes_.fetch_add(text.size());
+  if (s.ok()) {
+    wal_file_bytes_.fetch_add(text.size());
+  } else {
+    // Torn append or failed fsync: the tail is suspect and the acked
+    // prefix may not be durable. No retry (fsyncgate) — only the next
+    // successful Checkpoint(), a full rewrite from memory, heals.
+    wal_health_.Degrade(s);
+  }
   return s;
 }
 
@@ -762,8 +805,16 @@ Status Database::Checkpoint() {
   const uint64_t next_epoch = epoch_ + 1;
   const std::string snap_path = SnapshotPath(options_.wal_path);
   const std::string tmp_path = snap_path + ".tmp";
-  auto tmp = env_->NewWritableFile(tmp_path, /*truncate=*/true);
-  if (!tmp.ok()) return tmp.status();
+  // Background path: transient ENOSPC-style failures get a bounded retry
+  // before the checkpoint gives up (truncating re-creation is idempotent).
+  std::unique_ptr<WritableFile> tmp;
+  Status ts = RetryIo(options_.io_policy, [&] {
+    auto f = env_->NewWritableFile(tmp_path, /*truncate=*/true);
+    if (!f.ok()) return f.status();
+    tmp = std::move(f.value());
+    return Status::OK();
+  });
+  if (!ts.ok()) return ts;
   // Stream one table at a time: the transient buffer stays bounded by the
   // largest table instead of doubling the whole database in memory.
   uint64_t snapshot_bytes = 0;
@@ -772,7 +823,7 @@ Status Database::Checkpoint() {
   PutVarint64(&blob, next_epoch);
   PutFixed64(&blob, seal_seq_.load());
   PutVarint64(&blob, tables_.size());
-  Status s = tmp.value()->Append(blob);
+  Status s = tmp->Append(blob);
   snapshot_bytes += blob.size();
   for (auto& [name, t] : tables_) {
     if (!s.ok()) break;
@@ -789,19 +840,23 @@ Status Database::Checkpoint() {
       // never holds personal data in plaintext when encryption is on.
       EncodeCells(&blob, *slot);
     }
-    s = tmp.value()->Append(blob);
+    s = tmp->Append(blob);
     snapshot_bytes += blob.size();
   }
-  if (s.ok()) s = tmp.value()->Sync();
-  if (s.ok()) s = tmp.value()->Close();
+  if (s.ok()) s = tmp->Sync();
+  if (s.ok()) s = tmp->Close();
   if (!s.ok()) {
+    // The failed attempt only touched the temp file: the old snapshot and
+    // the full WAL are still authoritative, so the store stays healthy and
+    // the caller may simply try again later.
     env_->DeleteFile(tmp_path).ok();
     return s;
   }
   // Commit point. A crash before this rename leaves the old snapshot +
   // full WAL; after it, the new snapshot makes the old WAL redundant
   // (recovery drops an epoch-mismatched log).
-  s = env_->RenameFile(tmp_path, snap_path);
+  s = RetryIo(options_.io_policy,
+              [&] { return env_->RenameFile(tmp_path, snap_path); });
   if (!s.ok()) {
     env_->DeleteFile(tmp_path).ok();
     return s;
@@ -814,16 +869,21 @@ Status Database::Checkpoint() {
       wal_->Close().ok();
       wal_.reset();
     }
-    auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
-    if (!f.ok()) {
+    Status fs = RetryIo(options_.io_policy, [&] {
+      auto f = env_->NewWritableFile(options_.wal_path, /*truncate=*/true);
+      if (!f.ok()) return f.status();
+      wal_ = std::move(f.value());
+      return Status::OK();
+    });
+    if (!fs.ok()) {
       // The snapshot committed but the WAL could not be re-established.
       // Writes from here on would either be lost silently (no handle) or
-      // discarded on the next recovery (no epoch stamp), so take the WAL
-      // offline loudly: every later mutation fails instead of lying.
-      wal_failed_ = true;
-      return f.status();
+      // discarded on the next recovery (no epoch stamp), so degrade:
+      // every later mutation returns Unavailable instead of lying, while
+      // reads keep serving from memory.
+      wal_health_.Degrade(fs);
+      return fs;
     }
-    wal_ = std::move(f.value());
     std::string frame;
     frame.push_back('E');
     PutVarint64(&frame, next_epoch);
@@ -833,13 +893,13 @@ Status Database::Checkpoint() {
       // An unstamped WAL would be classified as pre-checkpoint on the
       // next Open and dropped wholesale. Refuse to write into it.
       wal_.reset();
-      wal_failed_ = true;
+      wal_health_.Degrade(s);
       return s;
     }
     wal_file_bytes_.store(frame.size());
-    // A freshly stamped, healthy WAL is exactly the recovery a previous
-    // failed checkpoint was waiting for: re-open the write path.
-    wal_failed_ = false;
+    // A freshly stamped WAL next to a snapshot of all of memory is exactly
+    // the full rewrite a previously degraded WAL was waiting for.
+    wal_health_.Heal();
   }
   epoch_ = next_epoch;
   checkpoints_.fetch_add(1);
@@ -866,12 +926,18 @@ Status Database::LogStatement(const std::string& text) {
   // resets stmt_log_ under stmt_mu_, and a raw pointer check here raced it.
   if (!stmt_logging()) return Status::OK();
   std::lock_guard<std::mutex> l(stmt_mu_);
-  if (stmt_failed_) {
-    return Status::IOError("statement log offline after failed rotation");
-  }
+  // Degraded statement logging suspends silently for reads: mutations are
+  // already refused at WalHealthy(), and failing every SELECT would turn
+  // one bad disk into a full outage. Health() reports the suspension.
+  if (!stmt_health_.writable()) return Status::OK();
   if (!stmt_log_) return Status::OK();
   Status s = AppendWithPolicy(stmt_log_.get(), text + "\n", &stmt_last_sync_);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The discovering statement sees the error once, loudly; later ones
+    // serve unlogged under the degraded latch above.
+    stmt_health_.Degrade(s);
+    return s;
+  }
   stmt_bytes_ += text.size() + 1;
   if (options_.stmt_log_rotate_bytes != 0 &&
       stmt_bytes_ >= options_.stmt_log_rotate_bytes) {
@@ -899,18 +965,21 @@ Status Database::RotateStatementLogLocked() {
   }
   if (s.ok()) s = env_->RenameFile(base, base + ".1");
   if (s.ok()) {
-    auto f = env_->NewWritableFile(base, /*truncate=*/true);
-    if (f.ok()) {
+    // Background path: bounded retry on transient failure — re-creating
+    // the truncated fresh log is idempotent.
+    s = RetryIo(options_.io_policy, [&] {
+      auto f = env_->NewWritableFile(base, /*truncate=*/true);
+      if (!f.ok()) return f.status();
       stmt_log_ = std::move(f.value());
-      stmt_bytes_ = 0;
-    } else {
-      s = f.status();
-    }
+      return Status::OK();
+    });
+    if (s.ok()) stmt_bytes_ = 0;
   }
   if (!s.ok()) {
-    // Statements from here would vanish silently; refuse them instead
-    // (same loud-offline contract as a failed WAL re-establishment).
-    stmt_failed_ = true;
+    // Statements from here would vanish silently; degrade instead —
+    // mutations refuse (their evidence would be incomplete), reads serve
+    // unlogged, and only a reopen heals.
+    stmt_health_.Degrade(s);
   }
   return s;
 }

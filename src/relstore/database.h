@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/health.h"
 #include "common/status.h"
 #include "crypto/aead.h"
 #include "relstore/bptree.h"
@@ -68,6 +69,11 @@ struct RelOptions {
 
   bool encrypt_at_rest = false;
   std::string encryption_key = "reldb-at-rest-key";
+
+  // Retry budget for transient I/O failures on background paths
+  // (checkpoint temp/rename, statement-log rotation). Hot-path Sync
+  // failures never retry — see docs/PERSISTENCE.md "Failure policy".
+  IoFailurePolicy io_policy;
 };
 
 struct ColumnSpec {
@@ -210,6 +216,23 @@ class Database {
     return wal_path + ".snapshot";
   }
 
+  // --- Health ---------------------------------------------------------------
+  // Worst of the two durability paths. A WAL failure degrades mutations
+  // (Unavailable) while reads keep serving; a statement-log failure also
+  // refuses mutations (their evidence would be incomplete) but suspends
+  // read logging instead of failing reads. A successful Checkpoint() heals
+  // the WAL side — it rewrites the whole persistent state from memory; the
+  // statement log only heals on reopen.
+  HealthState Health() const {
+    HealthState w = wal_health_.state();
+    HealthState s = stmt_health_.state();
+    return w < s ? s : w;
+  }
+  Status HealthCause() const {
+    return !wal_health_.cause().ok() ? wal_health_.cause()
+                                     : stmt_health_.cause();
+  }
+
  private:
   // One parsed WAL mutation awaiting its table.
   struct WalOp {
@@ -238,8 +261,8 @@ class Database {
 
   Status LogStatement(const std::string& text);
   // Shifts <path>.i -> <path>.i+1, the active log to <path>.1, and opens a
-  // fresh one. Caller holds stmt_mu_. Failure takes statement logging
-  // offline loudly (stmt_failed_), mirroring the WAL contract.
+  // fresh one. Caller holds stmt_mu_. Failure (after bounded retry)
+  // degrades the store: mutations refuse, reads serve unlogged.
   Status RotateStatementLogLocked();
   // Hot-path gate for "is statement logging on": the stmt_log_ pointer is
   // reset by Close() under stmt_mu_, so unlocked reads of it race; this
@@ -282,15 +305,19 @@ class Database {
 
   std::mutex wal_mu_;
   std::unique_ptr<WritableFile> wal_;
-  // Set when a checkpoint committed its snapshot but could not re-establish
-  // a stamped WAL: appends must fail loudly, not vanish. Guarded by wal_mu_.
-  bool wal_failed_ = false;
+  // Degraded when the WAL can no longer be trusted to persist acked
+  // mutations (failed hot-path append/sync, failed re-establishment after
+  // a checkpoint). Healed by the next successful Checkpoint().
+  HealthTracker wal_health_;
   int64_t wal_last_sync_ = 0;
   std::mutex stmt_mu_;
   std::unique_ptr<WritableFile> stmt_log_;
   int64_t stmt_last_sync_ = 0;
-  uint64_t stmt_bytes_ = 0;   // active statement log length; under stmt_mu_
-  bool stmt_failed_ = false;  // rotation failed: fail loudly; under stmt_mu_
+  uint64_t stmt_bytes_ = 0;  // active statement log length; under stmt_mu_
+  // Degraded when statement logging failed (append or rotation): evidence
+  // of later statements would be lost, so mutations refuse and read
+  // logging suspends. Only reopen heals.
+  HealthTracker stmt_health_;
   std::atomic<bool> stmt_active_{false};
 
   bool open_ = false;

@@ -15,40 +15,51 @@ namespace {
 
 class PosixWritableFile : public WritableFile {
  public:
-  explicit PosixWritableFile(FILE* f) : f_(f) {}
+  PosixWritableFile(FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
   ~PosixWritableFile() override {
     if (f_) fclose(f_);
   }
 
   Status Append(std::string_view data) override {
-    if (!f_) return Status::IOError("file closed");
+    if (!f_) return Status::IOError(path_ + ": append: file closed");
     if (fwrite(data.data(), 1, data.size(), f_) != data.size()) {
-      return Status::IOError(strerror(errno));
+      return Status::IOError(path_ + ": append: " + strerror(errno));
     }
     return Status::OK();
   }
 
   Status Flush() override {
-    if (f_ && fflush(f_) != 0) return Status::IOError(strerror(errno));
+    if (f_ && fflush(f_) != 0) {
+      return Status::IOError(path_ + ": flush: " + strerror(errno));
+    }
     return Status::OK();
   }
 
   Status Sync() override {
-    if (!f_) return Status::IOError("file closed");
-    if (fflush(f_) != 0) return Status::IOError(strerror(errno));
-    if (fdatasync(fileno(f_)) != 0) return Status::IOError(strerror(errno));
+    if (!f_) return Status::IOError(path_ + ": sync: file closed");
+    if (fflush(f_) != 0) {
+      return Status::IOError(path_ + ": sync/flush: " + strerror(errno));
+    }
+    if (fdatasync(fileno(f_)) != 0) {
+      return Status::IOError(path_ + ": fdatasync: " + strerror(errno));
+    }
     return Status::OK();
   }
 
   Status Close() override {
     if (!f_) return Status::OK();
     const int rc = fclose(f_);
+    const int saved_errno = errno;
     f_ = nullptr;
-    return rc == 0 ? Status::OK() : Status::IOError(strerror(errno));
+    return rc == 0 ? Status::OK()
+                   : Status::IOError(path_ + ": close: " +
+                                     strerror(saved_errno));
   }
 
  private:
   FILE* f_;
+  std::string path_;
 };
 
 class PosixEnv : public Env {
@@ -56,13 +67,21 @@ class PosixEnv : public Env {
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) override {
     FILE* f = fopen(path.c_str(), truncate ? "wb" : "ab");
-    if (!f) return Status::IOError(path + ": " + strerror(errno));
-    return std::unique_ptr<WritableFile>(new PosixWritableFile(f));
+    if (!f) {
+      return Status::IOError(path + ": open: " + strerror(errno));
+    }
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f, path));
   }
 
   StatusOr<std::string> ReadFileToString(const std::string& path) override {
+    errno = 0;
     std::ifstream in(path, std::ios::binary);
-    if (!in) return Status::IOError(path + ": cannot open");
+    if (!in) {
+      return errno == ENOENT
+                 ? Status::NotFound(path + ": " + strerror(ENOENT))
+                 : Status::IOError(path + ": open: " +
+                                   (errno ? strerror(errno) : "cannot open"));
+    }
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();

@@ -173,7 +173,7 @@ TEST(AofCompaction, CrashMidRewriteRecoversPreCompactionState) {
       ASSERT_TRUE(db.Set("k" + std::to_string(i), "v" + std::to_string(i)).ok());
     }
     ASSERT_TRUE(db.Delete("k0").ok());
-    db.AddTombstone("k0");
+    ASSERT_TRUE(db.AddTombstone("k0").ok());
     ASSERT_TRUE(db.Close().ok());
   }
   // Simulate a crash mid-rewrite: the temp exists (partially written,

@@ -29,7 +29,8 @@ import sys
 MARKERS = ("BENCH_RESULT_JSON", "BENCH_JSON")
 
 # Field-name suffix/substring -> True when higher is better.
-HIGHER_IS_BETTER = ("ops_per_sec", "speedup", "throughput", "ops")
+HIGHER_IS_BETTER = ("ops_per_sec", "speedup", "throughput", "ops",
+                    "injection_points", "invariant_checks")
 LOWER_IS_BETTER = ("_us", "_ms", "latency", "bytes", "amplification",
                    "delay", "p50", "p99", "y", "overhead")
 
