@@ -1,0 +1,142 @@
+// Measures what the always-on metrics layer costs on the hottest path the
+// store has: KvGdprStore point ops (create/read), where a MemKV op is a few
+// hundred ns and two clock reads would be visible. Run once against a tree
+// built with the default instrumentation and once with -DGDPR_OBS_OFF=ON;
+// CI divides the two throughputs and gates the ratio at 1.05x.
+//
+// Also cross-checks the instrumentation itself: the engine-side
+// gdpr_op_us percentiles (sampled histograms inside the store) must agree
+// with the client-observed percentiles within bucket resolution — a
+// disagreement means the timers measure the wrong window.
+//
+//   build/bench/bench_obs_overhead [--records=N] [--ops=N] [--threads=N]
+//
+// Emits:
+//   BENCH_RESULT_JSON {"bench":"metrics","ops_per_sec":...,"p50_us":...,
+//                      "p99_us":...,"engine_p50_us":...,"engine_p99_us":...}
+//
+// Exit code 1 when the engine/client p99 cross-check fails (only gated
+// when the build is instrumented — with GDPR_OBS_OFF the engine histograms
+// stay empty and the check is vacuous).
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/report.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "gdpr/kv_backend.h"
+
+namespace gdpr::bench {
+namespace {
+
+std::string KeyOf(size_t i) { return "user" + std::to_string(i); }
+
+GdprRecord MakeRecord(size_t i) {
+  GdprRecord rec;
+  rec.key = KeyOf(i);
+  rec.data = "payload-" + std::to_string(i);
+  rec.metadata.user = "owner" + std::to_string(i % 97);
+  rec.metadata.purposes = {"analytics"};
+  rec.metadata.origin = "bench";
+  return rec;
+}
+
+int Run(const BenchArgs& args) {
+  const size_t records = args.records ? args.records : 20000;
+  const size_t ops = args.ops ? args.ops : 400000;
+  const size_t threads = args.threads ? args.threads : 4;
+
+  KvGdprOptions opt;
+  opt.compliance.metadata_indexing = true;
+  // Audit off: its mutex is a deliberate serializer measured elsewhere
+  // (bench_audit_overhead); here we want the metrics layer's cost alone.
+  opt.compliance.audit_enabled = false;
+  KvGdprStore store(opt);
+  if (!store.Open().ok()) {
+    fprintf(stderr, "open failed\n");
+    return 2;
+  }
+  const Actor controller = Actor::Controller();
+  for (size_t i = 0; i < records; ++i) {
+    if (!store.CreateRecord(controller, MakeRecord(i)).ok()) {
+      fprintf(stderr, "load failed\n");
+      return 2;
+    }
+  }
+
+  // 90% reads / 10% upserts over the loaded keyspace, client-timed per op.
+  const obs::RegistrySnapshot engine_before = store.StatsSnapshot();
+  std::vector<LatencyHistogram> lat(threads);
+  const size_t per_thread = ops / threads;
+  const int64_t start = RealClock::Default()->NowMicros();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = 0; i < per_thread; ++i) {
+        const size_t k = (t * 2654435761u + i * 40503u) % records;
+        const int64_t op_start = RealClock::Default()->NowMicros();
+        if (i % 10 == 9) {
+          store.CreateRecord(controller, MakeRecord(k)).ok();
+        } else {
+          store.ReadDataByKey(controller, KeyOf(k)).ok();
+        }
+        lat[t].Add(RealClock::Default()->NowMicros() - op_start);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const int64_t elapsed = RealClock::Default()->NowMicros() - start;
+
+  LatencyHistogram client;
+  for (auto& l : lat) client.Merge(l);
+  const double ops_per_sec =
+      elapsed > 0 ? double(per_thread * threads) * 1e6 / double(elapsed) : 0;
+
+  const obs::RegistrySnapshot engine_delta =
+      store.StatsSnapshot().Delta(engine_before);
+  obs::HistogramSnapshot engine_ops;
+  engine_ops.name = "gdpr_op_us";
+  for (const auto& h : engine_delta.histograms) {
+    if (h.name.rfind("gdpr_op_us{", 0) == 0) engine_ops.MergeFrom(h);
+  }
+
+  const double p50 = client.Percentile(50);
+  const double p99 = client.Percentile(99);
+  const double ep50 = engine_ops.Percentile(50);
+  const double ep99 = engine_ops.Percentile(99);
+  printf("%s\n", BenchResultJson("metrics", ops_per_sec, p50, p99, ep50, ep99)
+                     .c_str());
+
+  if (engine_ops.count == 0) {
+    // GDPR_OBS_OFF build: timers compiled out, nothing to cross-check.
+    printf("engine histograms empty (instrumentation compiled out)\n");
+    return 0;
+  }
+
+  // Engine p99 must sit at or below the client p99 (the client window adds
+  // harness overhead) and within bucket resolution of it. One log bucket
+  // is a 1.3x step; allow two plus a 15us absolute floor for timer jitter
+  // at the microsecond scale.
+  const double slack = p99 * 1.3 * 1.3 + 15.0;
+  if (ep99 > slack) {
+    fprintf(stderr,
+            "FAIL: engine p99 %.1fus exceeds client p99 %.1fus beyond "
+            "bucket resolution (limit %.1fus)\n",
+            ep99, p99, slack);
+    return 1;
+  }
+  printf("engine/client p99 agree: %.1fus vs %.1fus (limit %.1fus)\n", ep99,
+         p99, slack);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gdpr::bench
+
+int main(int argc, char** argv) {
+  return gdpr::bench::Run(gdpr::bench::BenchArgs::Parse(argc, argv));
+}

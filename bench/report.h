@@ -8,12 +8,41 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace gdpr::bench {
+
+// Client-side latency capture backed by the engine's log-bucketed
+// histogram: Add is lock-free and allocation-free (no per-sample vector),
+// so memory stays constant no matter how many ops a run records.
+// Percentiles interpolate inside the containing bucket — at most one
+// bucket width (~30%) of error, the same resolution as the engine-side
+// histograms it is compared against.
+class LatencyHistogram {
+ public:
+  void Add(int64_t micros) {
+    hist_.Record(micros > 0 ? static_cast<uint64_t>(micros) : 0);
+  }
+  void Merge(const LatencyHistogram& o) { merged_.MergeFrom(o.Snapshot()); }
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+  size_t count() const { return static_cast<size_t>(Snapshot().count); }
+
+  obs::HistogramSnapshot Snapshot() const {
+    obs::HistogramSnapshot s = obs::HistogramSnapshot::Of("latency_us", hist_);
+    s.MergeFrom(merged_);
+    return s;
+  }
+
+ private:
+  obs::Histogram hist_;
+  // Buckets folded in from other threads' histograms via Merge.
+  obs::HistogramSnapshot merged_;
+};
 
 inline std::string Banner(const std::string& title) {
   std::string bar(title.size() + 4, '=');
@@ -77,6 +106,22 @@ inline std::string BenchResultJson(const std::string& name,
       "BENCH_RESULT_JSON {\"bench\":\"%s\",\"ops_per_sec\":%.3f,"
       "\"p50_us\":%.1f,\"p99_us\":%.1f}",
       name.c_str(), ops_per_sec, p50_us, p99_us);
+}
+
+// Same, with the engine-side percentiles (from the store's own gdpr_op_us
+// histograms over the run window) next to the client-observed ones. The
+// gap between the two is queueing/harness overhead; a large disagreement
+// is an instrumentation bug.
+inline std::string BenchResultJson(const std::string& name,
+                                   double ops_per_sec, double p50_us,
+                                   double p99_us, double engine_p50_us,
+                                   double engine_p99_us) {
+  return StringPrintf(
+      "BENCH_RESULT_JSON {\"bench\":\"%s\",\"ops_per_sec\":%.3f,"
+      "\"p50_us\":%.1f,\"p99_us\":%.1f,"
+      "\"engine_p50_us\":%.1f,\"engine_p99_us\":%.1f}",
+      name.c_str(), ops_per_sec, p50_us, p99_us, engine_p50_us,
+      engine_p99_us);
 }
 
 }  // namespace gdpr::bench

@@ -96,38 +96,29 @@ inline const std::vector<WorkloadSpec>& CoreWorkloads() {
   return kAll;
 }
 
-class LatencyHistogram {
- public:
-  void Add(int64_t micros) { samples_.push_back(micros); }
-  void Merge(const LatencyHistogram& o) {
-    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
-    sorted_ = false;
-  }
-  double Percentile(double p) const {
-    if (samples_.empty()) return 0;
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
-    const double rank = p / 100.0 * double(samples_.size() - 1);
-    const size_t lo = size_t(rank);
-    const size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - double(lo);
-    return double(samples_[lo]) * (1 - frac) + double(samples_[hi]) * frac;
-  }
-  size_t count() const { return samples_.size(); }
+// LatencyHistogram lives in bench/report.h, backed by obs::Histogram.
 
- private:
-  mutable std::vector<int64_t> samples_;
-  mutable bool sorted_ = false;
-};
+// Folds every per-op-class engine histogram (gdpr_op_us{op="..."}) in a
+// snapshot delta into one distribution — the engine-side view of the same
+// ops the client timed.
+inline obs::HistogramSnapshot MergeEngineOpHistograms(
+    const obs::RegistrySnapshot& delta) {
+  obs::HistogramSnapshot all;
+  all.name = "gdpr_op_us";
+  for (const auto& h : delta.histograms) {
+    if (h.name.rfind("gdpr_op_us{", 0) == 0) all.MergeFrom(h);
+  }
+  return all;
+}
 
 struct WorkloadResult {
   std::string workload;
   size_t ops = 0;
   size_t correct = 0;
   int64_t completion_micros = 0;
-  LatencyHistogram latency;
+  // Snapshot, not the live histogram: results get copied into vectors and
+  // the live object's atomics are not copyable.
+  obs::HistogramSnapshot latency;
 
   double throughput_ops_sec() const {
     return completion_micros > 0 ? double(ops) * 1e6 / double(completion_micros)
@@ -183,6 +174,7 @@ class GdprBenchRunner {
     const size_t per_thread = (cfg_.op_count + nthreads - 1) / nthreads;
     std::vector<LatencyHistogram> lat(nthreads);
     std::vector<size_t> correct(nthreads, 0);
+    const obs::RegistrySnapshot engine_before = store_->StatsSnapshot();
     const int64_t start = RealClock::Default()->NowMicros();
     std::vector<std::thread> workers;
     for (size_t t = 0; t < nthreads; ++t) {
@@ -202,13 +194,22 @@ class GdprBenchRunner {
     r.ops = per_thread * nthreads;
     r.completion_micros = RealClock::Default()->NowMicros() - start;
     for (size_t t = 0; t < nthreads; ++t) {
-      r.latency.Merge(lat[t]);
+      r.latency.MergeFrom(lat[t].Snapshot());
       r.correct += correct[t];
     }
+    // Engine-side view of the same window: delta the store's own op
+    // histograms across the run and report their percentiles alongside the
+    // client-observed ones.
+    const obs::RegistrySnapshot engine_delta =
+        store_->StatsSnapshot().Delta(engine_before);
+    const obs::HistogramSnapshot engine_ops =
+        MergeEngineOpHistograms(engine_delta);
     printf("%s\n", BenchResultJson("gdprbench-" + spec.name,
                                    r.throughput_ops_sec(),
                                    r.latency.Percentile(50),
-                                   r.latency.Percentile(99))
+                                   r.latency.Percentile(99),
+                                   engine_ops.Percentile(50),
+                                   engine_ops.Percentile(99))
                        .c_str());
     return r;
   }

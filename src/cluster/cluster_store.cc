@@ -33,6 +33,17 @@ ClusterGdprStore::ClusterGdprStore(const ClusterOptions& options)
   for (uint32_t s = 0; s < slot_map_.num_slots(); ++s) {
     slot_fence_.push_back(std::make_unique<std::shared_mutex>());
   }
+  fanout_hist_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    fanout_hist_.push_back(registry_.GetHistogram(
+        StringPrintf("cluster_node_fanout_us{node=\"%zu\"}", i)));
+  }
+  m_degraded_skips_ = registry_.GetCounter("cluster_degraded_skips_total");
+  m_slots_moved_ = registry_.GetCounter("cluster_slots_moved_total");
+  m_records_migrated_ =
+      registry_.GetCounter("cluster_records_migrated_total");
+  m_migration_active_ = registry_.GetGauge("cluster_migration_active");
+  audit_log_.AttachMetrics(&registry_);
   const size_t workers =
       options_.fanout_threads ? options_.fanout_threads : n;
   pool_ = std::make_unique<ScatterGather>(workers);
@@ -82,6 +93,9 @@ std::vector<T> ClusterGdprStore::FanOut(
   tasks.reserve(nodes_.size());
   for (size_t i = 0; i < nodes_.size(); ++i) {
     tasks.push_back([this, &staged, &fn, i] {
+      // Per-node sub-query execution time: a slow or degraded node shows
+      // up as a fat tail on its own label, not smeared across the gather.
+      obs::ScopedTimer fanout_timer(fanout_hist_[i], clock_);
       staged[i].emplace(fn(nodes_[i].get()));
     });
   }
@@ -93,7 +107,8 @@ std::vector<T> ClusterGdprStore::FanOut(
 }
 
 std::vector<GdprRecord> ClusterGdprStore::MergeRecords(
-    std::vector<StatusOr<std::vector<GdprRecord>>> parts, Status* status) {
+    std::vector<StatusOr<std::vector<GdprRecord>>> parts,
+    Status* status) {
   *status = Status::OK();
   std::vector<GdprRecord> out;
   std::unordered_set<std::string> seen;
@@ -107,6 +122,7 @@ std::vector<GdprRecord> ClusterGdprStore::MergeRecords(
         // partial answer beats a cluster-wide outage. (Point ops to its
         // slots still surface the refusal directly.)
         ++unavailable;
+        m_degraded_skips_->Add(1);
         if (first_unavailable.ok()) first_unavailable = part.status();
         continue;
       }
@@ -405,6 +421,13 @@ Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
     return Status::InvalidArgument("no such node");
   }
   std::unique_lock<std::shared_mutex> migration(migrate_mu_);
+  // The gauge is 1 for the duration of the rebalance regardless of exit
+  // path; the counters advance per slot so an operator can watch progress.
+  struct ActiveGuard {
+    obs::Gauge* g;
+    explicit ActiveGuard(obs::Gauge* gauge) : g(gauge) { g->Set(1); }
+    ~ActiveGuard() { g->Set(0); }
+  } migration_active(m_migration_active_);
   size_t moved_records = 0;
   size_t moved_slots = 0;
   for (const uint32_t slot : slots) {
@@ -488,6 +511,8 @@ Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
     }
     moved_records += records.size();
     ++moved_slots;
+    m_slots_moved_->Add(1);
+    m_records_migrated_->Add(records.size());
   }
   AuditCluster(Actor::Controller(), ops::kMoveSlots,
                StringPrintf("%zu slots (%zu records) -> node %u", moved_slots,
@@ -527,6 +552,20 @@ Status ClusterGdprStore::GetHealthCause() {
     }
   }
   return audit_log_.durable_status();
+}
+
+obs::RegistrySnapshot ClusterGdprStore::StatsSnapshot() {
+  registry_.GetGauge("cluster_health")
+      ->Set(static_cast<int64_t>(GetHealth()));
+  registry_.GetGauge("cluster_nodes")
+      ->Set(static_cast<int64_t>(nodes_.size()));
+  registry_.GetGauge("cluster_audit_unsealed_tail")
+      ->Set(static_cast<int64_t>(audit_log_.unsealed_tail()));
+  obs::RegistrySnapshot snap = registry_.Snapshot();
+  // Same-name metrics sum across nodes (counters and histogram buckets);
+  // per-node detail stays visible through the node="i" fan-out labels.
+  for (auto& node : nodes_) snap.MergeFrom(node->StatsSnapshot());
+  return snap;
 }
 
 bool ClusterGdprStore::VerifyAuditChains(std::vector<bool>* per_node) {

@@ -132,6 +132,12 @@ class ClusterGdprStore : public GdprStore {
   // trail). per_node, when given, receives nodes_ order then the router.
   bool VerifyAuditChains(std::vector<bool>* per_node = nullptr);
 
+  // Cluster-wide view: the router's own metrics (per-node fan-out
+  // latencies, degraded-node skips, slot-migration progress, cluster
+  // health) merged with every node's StatsSnapshot — same-name counters
+  // and histogram buckets sum across nodes.
+  obs::RegistrySnapshot StatsSnapshot() override;
+
   const ClusterOptions& options() const { return options_; }
 
  private:
@@ -155,11 +161,22 @@ class ClusterGdprStore : public GdprStore {
   // Unavailable parts (a degraded node refusing the sub-query) are skipped
   // so one bad disk does not take down cluster-wide reads; the merge only
   // fails when every node is unavailable or a node reports a real error.
-  static std::vector<GdprRecord> MergeRecords(
+  // Non-static: each skipped part counts on cluster_degraded_skips_total.
+  std::vector<GdprRecord> MergeRecords(
       std::vector<StatusOr<std::vector<GdprRecord>>> parts, Status* status);
 
   ClusterOptions options_;
   SlotMap slot_map_;
+  // Router-level metrics only (cluster_*, plus the router audit chain's
+  // audit_* counters); per-op latencies live in the nodes' registries and
+  // merge in at StatsSnapshot. Declared before nodes_/pool_ so everything
+  // recording into it dies first.
+  obs::MetricsRegistry registry_;
+  std::vector<obs::Histogram*> fanout_hist_;  // cluster_node_fanout_us{node=i}
+  obs::Counter* m_degraded_skips_ = nullptr;
+  obs::Counter* m_slots_moved_ = nullptr;
+  obs::Counter* m_records_migrated_ = nullptr;
+  obs::Gauge* m_migration_active_ = nullptr;
   std::vector<std::unique_ptr<KvGdprStore>> nodes_;
   std::unique_ptr<ScatterGather> pool_;
 

@@ -166,6 +166,15 @@ class EpochManager {
     return retired_count_.load(std::memory_order_relaxed);
   }
 
+  // Total read-side pins since process start (outer guards only; nested
+  // guards ride their outer pin). Each slot's counter lives on that
+  // thread's own cache line, so counting adds no cross-thread traffic.
+  uint64_t TotalPins() const {
+    uint64_t n = overflow_pins_.load(std::memory_order_relaxed);
+    for (const auto& s : slots_) n += s.pins.load(std::memory_order_relaxed);
+    return n;
+  }
+
   ~EpochManager() {
     // Static teardown: every thread is gone, nothing is pinned.
     for (auto& r : retired_) r.deleter(r.p);
@@ -184,6 +193,10 @@ class EpochManager {
     // no atomicity; it makes EpochGuard reentrant (a Get inside a Scan
     // callback must not unpin the Scan's epoch when it returns).
     uint32_t depth = 0;
+    // Outer pins taken through this slot; written only by the owner
+    // (relaxed — same cache line the pin already dirties), summed by
+    // TotalPins for the observability layer.
+    std::atomic<uint64_t> pins{0};
   };
 
   struct Retired {
@@ -295,6 +308,7 @@ class EpochManager {
   std::vector<Retired> retired_;
   std::atomic<size_t> retired_count_{0};
   std::atomic<uint64_t> overflow_slot_{0};
+  std::atomic<uint64_t> overflow_pins_{0};
 };
 
 // RAII read-side critical section. While alive, any pointer loaded
@@ -312,9 +326,11 @@ class EpochGuard {
       // inside the read section) cannot deadlock itself. Scalability is
       // long gone at that thread count anyway.
       mgr_->OverflowPin();
+      mgr_->overflow_pins_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (slot_->depth++ != 0) return;  // outer guard's (older) pin covers us
+    slot_->pins.fetch_add(1, std::memory_order_relaxed);
     uint64_t e = mgr_->global_epoch_.load(std::memory_order_relaxed);
     for (;;) {
       // Announce, then re-check: the announcement must be globally visible

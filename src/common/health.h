@@ -36,6 +36,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace gdpr {
 
@@ -69,14 +70,23 @@ class HealthTracker {
   }
   bool writable() const { return state() == HealthState::kHealthy; }
 
+  // Publish this tracker's state to a gauge (current HealthState as 0/1/2)
+  // and a monotonic transition counter bumped on every state *change*
+  // (including heals). Either may be null. Call before concurrent use.
+  void AttachMetrics(obs::Gauge* state_gauge, obs::Counter* transitions) {
+    std::lock_guard<std::mutex> l(mu_);
+    state_gauge_ = state_gauge;
+    transitions_ = transitions;
+    if (state_gauge_) state_gauge_->Set(static_cast<int64_t>(state()));
+  }
+
   // Healthy -> degraded. No-op when already degraded or failed (the first
   // cause wins — it is the one that explains the transition).
   void Degrade(const Status& cause) {
     std::lock_guard<std::mutex> l(mu_);
     if (state() != HealthState::kHealthy) return;
     cause_ = cause;
-    state_.store(static_cast<int>(HealthState::kDegradedReadOnly),
-                 std::memory_order_release);
+    Transition(HealthState::kDegradedReadOnly);
   }
 
   // Any state -> failed. Terminal.
@@ -84,8 +94,7 @@ class HealthTracker {
     std::lock_guard<std::mutex> l(mu_);
     if (state() == HealthState::kFailed) return;
     cause_ = cause;
-    state_.store(static_cast<int>(HealthState::kFailed),
-                 std::memory_order_release);
+    Transition(HealthState::kFailed);
   }
 
   // Degraded -> healthy, after a successful full rewrite of the failed
@@ -94,8 +103,7 @@ class HealthTracker {
     std::lock_guard<std::mutex> l(mu_);
     if (state() == HealthState::kFailed) return;
     cause_ = Status::OK();
-    state_.store(static_cast<int>(HealthState::kHealthy),
-                 std::memory_order_release);
+    Transition(HealthState::kHealthy);
   }
 
   // Unconditional return to healthy; only for (re)open paths that rebuild
@@ -103,8 +111,7 @@ class HealthTracker {
   void Reset() {
     std::lock_guard<std::mutex> l(mu_);
     cause_ = Status::OK();
-    state_.store(static_cast<int>(HealthState::kHealthy),
-                 std::memory_order_release);
+    Transition(HealthState::kHealthy);
   }
 
   // Write gate: OK when healthy, Unavailable(with cause) otherwise.
@@ -122,9 +129,20 @@ class HealthTracker {
   }
 
  private:
+  // Callers hold mu_. Counts only real state changes (Heal/Reset while
+  // already healthy is not a transition).
+  void Transition(HealthState next) {
+    const bool changed = next != state();
+    state_.store(static_cast<int>(next), std::memory_order_release);
+    if (state_gauge_) state_gauge_->Set(static_cast<int64_t>(next));
+    if (transitions_ && changed) transitions_->Add(1);
+  }
+
   std::atomic<int> state_{static_cast<int>(HealthState::kHealthy)};
   mutable std::mutex mu_;
   Status cause_;
+  obs::Gauge* state_gauge_ = nullptr;
+  obs::Counter* transitions_ = nullptr;
 };
 
 // Bounded retry-with-backoff for transient I/O failures on background

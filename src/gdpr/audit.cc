@@ -364,9 +364,11 @@ void AuditLog::PersistGroupLocked(const std::string& payload, size_t n) const {
   Status s = active_->Append(frame);
   if (s.ok()) s = SyncWithPolicyLocked();
   if (!s.ok()) {
+    if (m_persist_fail_) m_persist_fail_->Add(1);
     io_status_ = s;
     return;
   }
+  if (m_persisted_bytes_) m_persisted_bytes_->Add(frame.size());
   active_bytes_ += frame.size();
   if (opts_.rotate_bytes != 0 && active_bytes_ >= opts_.rotate_bytes) {
     RotateLocked();
@@ -550,6 +552,7 @@ void AuditLog::SealPendingLocked() const {
   head_ = GroupStepEncoded(head_, payload);
   group_sizes_.push_back(uint32_t(n));
   pending_ = 0;
+  if (m_sealed_groups_) m_sealed_groups_->Add(1);
   if (durable_) PersistGroupLocked(payload, n);
 }
 
@@ -562,7 +565,27 @@ void AuditLog::Append(AuditEntry entry) {
   }
   bytes_ += EntryCost(entry);
   entries_.push_back(std::move(entry));
+  if (m_appends_) m_appends_->Add(1);
   if (++pending_ >= seal_interval_) SealPendingLocked();
+}
+
+void AuditLog::AttachMetrics(obs::MetricsRegistry* reg) {
+  std::lock_guard<std::mutex> l(mu_);
+  m_appends_ = reg->GetCounter("audit_appends_total");
+  m_sealed_groups_ = reg->GetCounter("audit_sealed_groups_total");
+  m_persisted_bytes_ = reg->GetCounter("audit_persisted_bytes_total");
+  m_persist_fail_ = reg->GetCounter("audit_persist_failures_total");
+}
+
+size_t AuditLog::unsealed_tail() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return pending_;
+}
+
+int64_t AuditLog::oldest_unsealed_micros() const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (pending_ == 0) return 0;
+  return entries_[entries_.size() - pending_].timestamp_micros;
 }
 
 size_t AuditLog::size() const {

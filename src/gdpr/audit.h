@@ -35,6 +35,7 @@
 
 #include "common/health.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "gdpr/actor.h"
 #include "storage/env.h"
 
@@ -140,6 +141,15 @@ class AuditLog {
   uint64_t dropped_entries_total() const;
   std::string anchor_hash() const;
 
+  // Registers audit_* counters on reg; safe to call once after construction.
+  // Counters are owned by the registry and outlive this log.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+  // Entries appended but not yet sealed into a hash group.
+  size_t unsealed_tail() const;
+  // Timestamp of the oldest unsealed entry, or 0 when the tail is empty.
+  // Seal lag = now - this; gauges derived at snapshot time.
+  int64_t oldest_unsealed_micros() const;
+
  private:
   // One hash step covering entries [begin, begin+n) chained onto prev.
   static std::string GroupStep(const std::string& prev, const AuditEntry* begin,
@@ -190,6 +200,13 @@ class AuditLog {
   uint64_t epoch_ = 0;
   mutable Status io_status_ = Status::OK();
   mutable int64_t last_sync_micros_ = 0;
+
+  // Nullable until AttachMetrics; raw pointers so const seal/persist paths
+  // can count without touching registry state.
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_sealed_groups_ = nullptr;
+  obs::Counter* m_persisted_bytes_ = nullptr;
+  obs::Counter* m_persist_fail_ = nullptr;
   uint64_t dropped_entries_total_ = 0;
 };
 

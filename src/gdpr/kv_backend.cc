@@ -13,6 +13,10 @@ KvGdprStore::KvGdprStore(const KvGdprOptions& options) : options_(options) {
   kvo.clock = clock_;
   kvo.encrypt_at_rest =
       kvo.encrypt_at_rest || options_.compliance.encrypt_at_rest;
+  metrics_ = kvo.metrics ? kvo.metrics : &registry_;
+  kvo.metrics = metrics_;
+  InitOpMetrics(metrics_);
+  audit_log_.AttachMetrics(metrics_);
   db_ = std::make_unique<kv::MemKV>(kvo);
 }
 
@@ -58,6 +62,9 @@ Status KvGdprStore::Close() {
 
 void KvGdprStore::Audit(const Actor& actor, const char* op,
                         const std::string& key, bool allowed) {
+  // Denials count even with auditing off: the counter is an operational
+  // signal, the audit entry is compliance evidence.
+  if (!allowed) denied_->Add(1);
   if (!options_.compliance.audit_enabled) return;
   AuditEntry e;
   e.timestamp_micros = NowMicros();
@@ -153,8 +160,15 @@ Status KvGdprStore::EraseRecord(const GdprRecord& record) {
   return Status::OK();
 }
 
+// Timer split across the op vocabulary: point ops (create / by-key reads
+// and updates) run in well under a microsecond, where two clock reads per
+// op are a measurable tax, so they use the 1-in-32 SampledTimer. The
+// compliance ops (erasure, user/purpose/sharing queries, exports, logs)
+// cost microseconds-plus and carry regulatory meaning per event, so every
+// invocation is timed and their histogram counts are exact.
 Status KvGdprStore::CreateRecord(const Actor& actor,
                                  const GdprRecord& record) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kCreate), clock_);
   Status access = CheckAccess(actor, ops::kCreate, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer &&
       record.metadata.user != actor.id) {
@@ -183,6 +197,7 @@ Status KvGdprStore::CreateRecord(const Actor& actor,
 
 StatusOr<GdprRecord> KvGdprStore::ReadDataByKey(const Actor& actor,
                                                 const std::string& key) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kReadData), clock_);
   auto rec = GetRecord(key);
   if (!rec.ok()) {
     Audit(actor, ops::kReadData, key, false);
@@ -196,6 +211,7 @@ StatusOr<GdprRecord> KvGdprStore::ReadDataByKey(const Actor& actor,
 
 StatusOr<GdprMetadata> KvGdprStore::ReadMetadataByKey(const Actor& actor,
                                                       const std::string& key) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kReadMeta), clock_);
   auto rec = GetRecord(key);
   if (!rec.ok()) {
     Audit(actor, ops::kReadMeta, key, false);
@@ -268,6 +284,7 @@ Status KvGdprStore::CollectionStatus(size_t read_failures) {
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
     const Actor& actor, const std::string& user) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadMetaUser), clock_);
   Status access = CheckAccess(actor, ops::kReadMetaUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
     access = Status::PermissionDenied("customer can only query own records");
@@ -288,6 +305,7 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByPurpose(
     const Actor& actor, const std::string& purpose) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadMetaPurpose), clock_);
   Status access = CheckAccess(actor, ops::kReadMetaPurpose, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor &&
       actor.purpose != purpose) {
@@ -309,6 +327,7 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByPurpose(
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataBySharing(
     const Actor& actor, const std::string& third_party) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadMetaSharing), clock_);
   Status access = CheckAccess(actor, ops::kReadMetaSharing, nullptr);
   Audit(actor, ops::kReadMetaSharing, third_party, access.ok());
   if (!access.ok()) return access;
@@ -327,6 +346,8 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataBySharing(
 
 StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadRecordsByUser(
     const Actor& actor, const std::string& user) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadRecordsUser), clock_);
+  obs::ScopedTimer export_us_timer(export_us_, clock_);
   Status access = CheckAccess(actor, ops::kReadRecordsUser, nullptr);
   if (access.ok()) {
     const bool owner =
@@ -352,6 +373,7 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadRecordsByUser(
 Status KvGdprStore::UpdateMetadataByKey(const Actor& actor,
                                         const std::string& key,
                                         const MetadataUpdate& update) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kUpdateMeta), clock_);
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
@@ -379,6 +401,7 @@ Status KvGdprStore::UpdateMetadataByKey(const Actor& actor,
 
 Status KvGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
                                     const std::string& data) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kUpdateData), clock_);
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
@@ -399,6 +422,8 @@ Status KvGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
 
 Status KvGdprStore::DeleteRecordByKey(const Actor& actor,
                                       const std::string& key) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kDeleteKey), clock_);
+  obs::ScopedTimer forget_us_timer(forget_us_, clock_);
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   // Raw fetch: the right to be forgotten applies to expired-but-unreclaimed
   // records too — their blobs and index entries must go now, with evidence.
@@ -419,6 +444,8 @@ Status KvGdprStore::DeleteRecordByKey(const Actor& actor,
 
 StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
                                                   const std::string& user) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kDeleteUser), clock_);
+  obs::ScopedTimer forget_us_timer(forget_us_, clock_);
   Status access = CheckAccess(actor, ops::kDeleteUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
     access = Status::PermissionDenied("customer can only erase own records");
@@ -467,6 +494,7 @@ StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
 }
 
 StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kDeleteExpired), clock_);
   Status access = CheckAccess(actor, ops::kDeleteExpired, nullptr);
   if (!access.ok()) {
     Audit(actor, ops::kDeleteExpired, "", false);
@@ -563,6 +591,7 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
 
 StatusOr<bool> KvGdprStore::VerifyDeletion(const Actor& actor,
                                            const std::string& key) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kVerifyDeletion), clock_);
   Status access = CheckAccess(actor, ops::kVerifyDeletion, nullptr);
   Audit(actor, ops::kVerifyDeletion, key, access.ok());
   if (!access.ok()) return access;
@@ -572,6 +601,7 @@ StatusOr<bool> KvGdprStore::VerifyDeletion(const Actor& actor,
 
 StatusOr<std::vector<AuditEntry>> KvGdprStore::GetSystemLogs(
     const Actor& actor, int64_t from_micros, int64_t to_micros) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kGetLogs), clock_);
   Status access = CheckAccess(actor, ops::kGetLogs, nullptr);
   if (access.ok() && actor.role != Actor::Role::kRegulator &&
       actor.role != Actor::Role::kController) {
@@ -587,6 +617,7 @@ StatusOr<std::vector<AuditEntry>> KvGdprStore::GetSystemLogs(
 }
 
 StatusOr<Features> KvGdprStore::GetFeatures(const Actor& actor) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kGetFeatures), clock_);
   Audit(actor, ops::kGetFeatures, "", true);
   return BuildFeatures("memkv", options_.compliance,
                        /*has_secondary_indexes=*/indexing());
@@ -594,6 +625,7 @@ StatusOr<Features> KvGdprStore::GetFeatures(const Actor& actor) {
 
 Status KvGdprStore::ScanRecords(
     const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kScanRecords), clock_);
   Status access = CheckAccess(actor, ops::kScanRecords, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor) {
     access = Status::PermissionDenied("processor cannot scan");
@@ -694,6 +726,7 @@ Status KvGdprStore::Reset() {
 }
 
 StatusOr<CompactionStats> KvGdprStore::CompactNow(const Actor& actor) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kCompactLogs), clock_);
   Status access = CheckAccess(actor, ops::kCompact, nullptr);
   if (access.ok() && actor.role != Actor::Role::kController) {
     access = Status::PermissionDenied("compaction limited to controller");
@@ -742,6 +775,33 @@ Status KvGdprStore::GetHealthCause() {
   Status engine = db_->HealthCause();
   if (!engine.ok()) return engine;
   return audit_log_.durable_status();
+}
+
+void KvGdprStore::RefreshGauges() {
+  {
+    std::shared_lock<std::shared_mutex> l(idx_mu_);
+    metrics_->GetGauge("gdpr_ttl_backlog")
+        ->Set(static_cast<int64_t>(ttl_heap_.size()));
+    metrics_->GetGauge("gdpr_index_bytes")
+        ->Set(static_cast<int64_t>(index_bytes_));
+  }
+  metrics_->GetGauge("gdpr_records")->Set(static_cast<int64_t>(db_->Size()));
+  metrics_->GetGauge("gdpr_tombstones")
+      ->Set(static_cast<int64_t>(db_->TombstoneCount()));
+  metrics_->GetGauge("gdpr_store_health")
+      ->Set(static_cast<int64_t>(GetHealth()));
+  metrics_->GetGauge("gdpr_audit_unsealed_tail")
+      ->Set(static_cast<int64_t>(audit_log_.unsealed_tail()));
+  const int64_t oldest = audit_log_.oldest_unsealed_micros();
+  metrics_->GetGauge("gdpr_audit_seal_lag_us")
+      ->Set(oldest == 0 ? 0 : std::max<int64_t>(0, NowMicros() - oldest));
+}
+
+obs::RegistrySnapshot KvGdprStore::StatsSnapshot() {
+  RefreshGauges();
+  // db_ shares metrics_, so its snapshot carries the whole stack; it also
+  // refreshes the engine-side derived gauges (entries, bytes, epoch).
+  return db_->StatsSnapshot();
 }
 
 }  // namespace gdpr

@@ -99,6 +99,9 @@ class KvGdprStore : public GdprStore {
   StatusOr<CompactionStats> CompactNow(const Actor& actor) override;
   CompactionStats GetCompactionStats() override;
 
+  // GDPR-layer + MemKV + audit metrics, one registry (db shares it).
+  obs::RegistrySnapshot StatsSnapshot() override;
+
   kv::MemKV* raw() { return db_.get(); }
   const KvGdprOptions& options() const { return options_; }
 
@@ -188,7 +191,18 @@ class KvGdprStore : public GdprStore {
   // Shared guard: DataLoss when a collection saw unreadable records.
   static Status CollectionStatus(size_t read_failures);
 
+  // Refreshes snapshot-time gauges (ttl backlog, tombstones, audit seal
+  // lag, store health); called from StatsSnapshot.
+  void RefreshGauges();
+
   KvGdprOptions options_;
+  // One registry for the whole stack: the GDPR layer's histograms and the
+  // inner MemKV's metrics land in the same namespace. Declared before db_
+  // so the registry outlives the engine that records into it. When the
+  // caller supplied options_.kv.metrics, that registry is used instead and
+  // this one stays empty.
+  obs::MetricsRegistry registry_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<kv::MemKV> db_;
 
   std::shared_mutex idx_mu_;

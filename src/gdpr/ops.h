@@ -32,4 +32,51 @@ constexpr const char kCompact[] = "COMPACT-LOGS";
 constexpr const char kMoveSlots[] = "MOVE-SLOTS";
 constexpr const char kCompactAll[] = "COMPACT-ALL";
 
+// Dense index over the vocabulary above, for per-op-class metrics
+// (gdpr_op_us{op="..."} histograms). Keep in sync with OpClassName().
+enum class OpClass : int {
+  kCreate = 0,
+  kReadData,
+  kReadMeta,
+  kReadMetaUser,
+  kReadMetaPurpose,
+  kReadMetaSharing,
+  kReadRecordsUser,
+  kUpdateMeta,
+  kUpdateData,
+  kDeleteKey,
+  kDeleteUser,
+  kDeleteExpired,
+  kVerifyDeletion,
+  kGetLogs,
+  kGetFeatures,
+  kScanRecords,
+  kCompactLogs,
+  kCount,
+};
+
+inline const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kCreate: return kCreate;
+    case OpClass::kReadData: return kReadData;
+    case OpClass::kReadMeta: return kReadMeta;
+    case OpClass::kReadMetaUser: return kReadMetaUser;
+    case OpClass::kReadMetaPurpose: return kReadMetaPurpose;
+    case OpClass::kReadMetaSharing: return kReadMetaSharing;
+    case OpClass::kReadRecordsUser: return kReadRecordsUser;
+    case OpClass::kUpdateMeta: return kUpdateMeta;
+    case OpClass::kUpdateData: return kUpdateData;
+    case OpClass::kDeleteKey: return kDeleteKey;
+    case OpClass::kDeleteUser: return kDeleteUser;
+    case OpClass::kDeleteExpired: return kDeleteExpired;
+    case OpClass::kVerifyDeletion: return kVerifyDeletion;
+    case OpClass::kGetLogs: return kGetLogs;
+    case OpClass::kGetFeatures: return kGetFeatures;
+    case OpClass::kScanRecords: return kScanRecords;
+    case OpClass::kCompactLogs: return kCompact;
+    case OpClass::kCount: break;
+  }
+  return "UNKNOWN";
+}
+
 }  // namespace gdpr::ops

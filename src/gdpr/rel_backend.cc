@@ -1,5 +1,6 @@
 #include "gdpr/rel_backend.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/string_util.h"
@@ -36,6 +37,10 @@ RelGdprStore::RelGdprStore(const RelGdprOptions& options) : options_(options) {
   ro.clock = clock_;
   ro.encrypt_at_rest =
       ro.encrypt_at_rest || options_.compliance.encrypt_at_rest;
+  metrics_ = ro.metrics ? ro.metrics : &registry_;
+  ro.metrics = metrics_;
+  InitOpMetrics(metrics_);
+  audit_log_.AttachMetrics(metrics_);
   db_ = std::make_unique<rel::Database>(ro);
 }
 
@@ -107,6 +112,8 @@ Status RelGdprStore::Close() {
 
 void RelGdprStore::Audit(const Actor& actor, const char* op,
                          const std::string& key, bool allowed) {
+  // Denials count even with auditing off (operational signal vs evidence).
+  if (!allowed) denied_->Add(1);
   if (!options_.compliance.audit_enabled) return;
   AuditEntry e;
   e.timestamp_micros = NowMicros();
@@ -247,8 +254,11 @@ std::vector<GdprRecord> RelGdprStore::CollectByJoinTable(
   return out;
 }
 
+// Same timer split as KvGdprStore: sampled on sub-microsecond point ops,
+// exact on the compliance ops whose every invocation matters.
 Status RelGdprStore::CreateRecord(const Actor& actor,
                                   const GdprRecord& record) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kCreate), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kCreate, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer &&
@@ -269,6 +279,7 @@ Status RelGdprStore::CreateRecord(const Actor& actor,
 
 StatusOr<GdprRecord> RelGdprStore::ReadDataByKey(const Actor& actor,
                                                  const std::string& key) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kReadData), clock_);
   auto rec = GetRecord(key);
   if (!rec.ok()) {
     Audit(actor, ops::kReadData, key, false);
@@ -283,6 +294,7 @@ StatusOr<GdprRecord> RelGdprStore::ReadDataByKey(const Actor& actor,
 
 StatusOr<GdprMetadata> RelGdprStore::ReadMetadataByKey(const Actor& actor,
                                                        const std::string& key) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kReadMeta), clock_);
   auto rec = GetRecord(key);
   if (!rec.ok()) {
     Audit(actor, ops::kReadMeta, key, false);
@@ -297,6 +309,7 @@ StatusOr<GdprMetadata> RelGdprStore::ReadMetadataByKey(const Actor& actor,
 
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByUser(
     const Actor& actor, const std::string& user) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadMetaUser), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kReadMetaUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
@@ -325,6 +338,7 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByUser(
 
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByPurpose(
     const Actor& actor, const std::string& purpose) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadMetaPurpose), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kReadMetaPurpose, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor &&
@@ -344,6 +358,7 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataByPurpose(
 
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataBySharing(
     const Actor& actor, const std::string& third_party) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadMetaSharing), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kReadMetaSharing, nullptr);
   Audit(actor, ops::kReadMetaSharing, third_party, access.ok());
@@ -359,6 +374,8 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadMetadataBySharing(
 
 StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadRecordsByUser(
     const Actor& actor, const std::string& user) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kReadRecordsUser), clock_);
+  obs::ScopedTimer export_us_timer(export_us_, clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kReadRecordsUser, nullptr);
   if (access.ok()) {
@@ -391,6 +408,7 @@ StatusOr<std::vector<GdprRecord>> RelGdprStore::ReadRecordsByUser(
 Status RelGdprStore::UpdateMetadataByKey(const Actor& actor,
                                          const std::string& key,
                                          const MetadataUpdate& update) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kUpdateMeta), clock_);
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
@@ -417,6 +435,7 @@ Status RelGdprStore::UpdateMetadataByKey(const Actor& actor,
 
 Status RelGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
                                      const std::string& data) {
+  obs::SampledTimer op_timer(op_hist(ops::OpClass::kUpdateData), clock_);
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
@@ -438,6 +457,8 @@ Status RelGdprStore::UpdateDataByKey(const Actor& actor, const std::string& key,
 
 Status RelGdprStore::DeleteRecordByKey(const Actor& actor,
                                        const std::string& key) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kDeleteKey), clock_);
+  obs::ScopedTimer forget_us_timer(forget_us_, clock_);
   std::lock_guard<std::mutex> key_lock(KeyMutex(key));
   auto rec = GetRecord(key);
   if (!rec.ok()) {
@@ -457,6 +478,8 @@ Status RelGdprStore::DeleteRecordByKey(const Actor& actor,
 
 StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
                                                    const std::string& user) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kDeleteUser), clock_);
+  obs::ScopedTimer forget_us_timer(forget_us_, clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kDeleteUser, nullptr);
   if (access.ok() && actor.role == Actor::Role::kCustomer && actor.id != user) {
@@ -519,6 +542,7 @@ StatusOr<size_t> RelGdprStore::DeleteRecordsByUser(const Actor& actor,
 }
 
 StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kDeleteExpired), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kDeleteExpired, nullptr);
   if (!access.ok()) {
@@ -576,6 +600,7 @@ StatusOr<size_t> RelGdprStore::DeleteExpiredRecords(const Actor& actor) {
 
 StatusOr<bool> RelGdprStore::VerifyDeletion(const Actor& actor,
                                             const std::string& key) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kVerifyDeletion), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kVerifyDeletion, nullptr);
   Audit(actor, ops::kVerifyDeletion, key, access.ok());
@@ -594,6 +619,7 @@ StatusOr<bool> RelGdprStore::VerifyDeletion(const Actor& actor,
 
 StatusOr<std::vector<AuditEntry>> RelGdprStore::GetSystemLogs(
     const Actor& actor, int64_t from_micros, int64_t to_micros) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kGetLogs), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kGetLogs, nullptr);
   if (access.ok() && actor.role != Actor::Role::kRegulator &&
@@ -610,6 +636,7 @@ StatusOr<std::vector<AuditEntry>> RelGdprStore::GetSystemLogs(
 }
 
 StatusOr<Features> RelGdprStore::GetFeatures(const Actor& actor) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kGetFeatures), clock_);
   Audit(actor, ops::kGetFeatures, "", true);
   return BuildFeatures("reldb", options_.compliance,
                        /*has_secondary_indexes=*/true);
@@ -617,6 +644,7 @@ StatusOr<Features> RelGdprStore::GetFeatures(const Actor& actor) {
 
 Status RelGdprStore::ScanRecords(
     const Actor& actor, const std::function<bool(const GdprRecord&)>& fn) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kScanRecords), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kScanRecords, nullptr);
   if (access.ok() && actor.role == Actor::Role::kProcessor) {
@@ -657,6 +685,7 @@ Status RelGdprStore::Reset() {
 }
 
 StatusOr<CompactionStats> RelGdprStore::CompactNow(const Actor& actor) {
+  obs::ScopedTimer op_timer(op_hist(ops::OpClass::kCompactLogs), clock_);
   Status access =
       CheckGdprAccess(options_.compliance, actor, ops::kCompact, nullptr);
   if (access.ok() && actor.role != Actor::Role::kController) {
@@ -706,6 +735,27 @@ Status RelGdprStore::GetHealthCause() {
   Status engine = db_->HealthCause();
   if (!engine.ok()) return engine;
   return audit_log_.durable_status();
+}
+
+void RelGdprStore::RefreshGauges() {
+  metrics_->GetGauge("gdpr_records")
+      ->Set(static_cast<int64_t>(RecordCount()));
+  metrics_->GetGauge("gdpr_tombstones")
+      ->Set(static_cast<int64_t>(tombstones_ ? tombstones_->live_rows() : 0));
+  metrics_->GetGauge("gdpr_store_health")
+      ->Set(static_cast<int64_t>(GetHealth()));
+  metrics_->GetGauge("gdpr_audit_unsealed_tail")
+      ->Set(static_cast<int64_t>(audit_log_.unsealed_tail()));
+  const int64_t oldest = audit_log_.oldest_unsealed_micros();
+  metrics_->GetGauge("gdpr_audit_seal_lag_us")
+      ->Set(oldest == 0 ? 0 : std::max<int64_t>(0, NowMicros() - oldest));
+}
+
+obs::RegistrySnapshot RelGdprStore::StatsSnapshot() {
+  RefreshGauges();
+  // db_ shares metrics_; its snapshot carries the whole stack and also
+  // refreshes the engine-side derived gauges.
+  return db_->StatsSnapshot();
 }
 
 }  // namespace gdpr

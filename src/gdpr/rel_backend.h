@@ -85,6 +85,9 @@ class RelGdprStore : public GdprStore {
   HealthState GetHealth() override;
   Status GetHealthCause() override;
 
+  // GDPR-layer + rel::Database + audit metrics, one registry.
+  obs::RegistrySnapshot StatsSnapshot() override;
+
   rel::Database* raw() { return db_.get(); }
   const RelGdprOptions& options() const { return options_; }
 
@@ -126,7 +129,14 @@ class RelGdprStore : public GdprStore {
     return key_mu_[h % key_mu_.size()];
   }
 
+  // Snapshot-time gauges (tombstones, seal lag, health); see StatsSnapshot.
+  void RefreshGauges();
+
   RelGdprOptions options_;
+  // Shared with the inner rel::Database (declared first so it outlives the
+  // engine); a caller-supplied options_.rel.metrics wins over this one.
+  obs::MetricsRegistry registry_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<rel::Database> db_;
   rel::Table* records_ = nullptr;
   rel::Table* purpose_idx_ = nullptr;

@@ -43,6 +43,48 @@ MemKV::MemKV(const Options& options) : options_(options) {
   if (options_.encrypt_at_rest) {
     aead_ = std::make_unique<Aead>(options_.encryption_key);
   }
+  InitMetrics();
+}
+
+void MemKV::InitMetrics() {
+  if (options_.metrics) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  get_us_ = metrics_->GetHistogram("memkv_get_us");
+  set_us_ = metrics_->GetHistogram("memkv_set_us");
+  delete_us_ = metrics_->GetHistogram("memkv_delete_us");
+  expiry_cycle_us_ = metrics_->GetHistogram("memkv_expiry_cycle_us");
+  m_scan_decrypt_fail_ = metrics_->GetCounter("memkv_scan_decrypt_failures");
+  m_expired_keys_ = metrics_->GetCounter("memkv_expired_keys_total");
+  m_aof_appends_ = metrics_->GetCounter("memkv_aof_appends_total");
+  m_aof_append_bytes_ = metrics_->GetCounter("memkv_aof_append_bytes_total");
+  m_aof_append_fail_ = metrics_->GetCounter("memkv_aof_append_failures_total");
+  m_aof_syncs_ = metrics_->GetCounter("memkv_aof_fsyncs_total");
+  m_aof_sync_fail_ = metrics_->GetCounter("memkv_aof_fsync_failures_total");
+  m_aof_rewrites_ = metrics_->GetCounter("memkv_aof_rewrites_total");
+  m_aof_log_bytes_ = metrics_->GetGauge("memkv_aof_log_bytes");
+  m_tombstones_ = metrics_->GetGauge("memkv_tombstones");
+  health_.AttachMetrics(metrics_->GetGauge("memkv_health_state"),
+                        metrics_->GetCounter("memkv_health_transitions_total"));
+}
+
+obs::RegistrySnapshot MemKV::StatsSnapshot() {
+  // Derived gauges are computed here, not maintained on hot paths: the
+  // snapshot is the cold side of the design.
+  metrics_->GetGauge("memkv_entries")->Set(static_cast<int64_t>(Size()));
+  metrics_->GetGauge("memkv_bytes")
+      ->Set(static_cast<int64_t>(ApproximateBytes()));
+  auto& epoch = EpochManager::Global();
+  metrics_->GetGauge("epoch_retired_backlog")
+      ->Set(static_cast<int64_t>(epoch.RetiredCount()));
+  metrics_->GetGauge("epoch_global")
+      ->Set(static_cast<int64_t>(epoch.GlobalEpoch()));
+  metrics_->GetGauge("epoch_pins_total")
+      ->Set(static_cast<int64_t>(epoch.TotalPins()));
+  return metrics_->Snapshot();
 }
 
 MemKV::~MemKV() { Close().ok(); }
@@ -92,7 +134,7 @@ Status MemKV::Open() {
           return ws;
         }
       }
-      aof_file_bytes_.store(valid);
+      m_aof_log_bytes_->Set(static_cast<int64_t>(valid));
     }
     auto file = env_->NewWritableFile(options_.aof_path, /*truncate=*/false);
     if (!file.ok()) return file.status();
@@ -156,6 +198,7 @@ bool MemKV::EraseLocked(Shard& s, const std::string& key, uint64_t hash) {
 
 Status MemKV::SetInternal(const std::string& key, const std::string& value,
                           int64_t expiry_abs, bool log_to_aof) {
+  obs::SampledTimer timer(set_us_, clock_);
   Status gate = health_.WriteGate("memkv");
   if (!gate.ok()) return gate;
   std::string stored = value;
@@ -234,6 +277,9 @@ Status MemKV::SetWithTtl(const std::string& key, const std::string& value,
 }
 
 StatusOr<std::string> MemKV::Get(const std::string& key) {
+  // Sampled (1/32): two clock reads per op would be a measurable tax on a
+  // path that costs a few hundred ns.
+  obs::SampledTimer timer(get_us_, clock_);
   const uint64_t h = HashKey(key);
   Shard& s = ShardFor(h);
   std::string stored;
@@ -266,6 +312,7 @@ StatusOr<std::string> MemKV::Get(const std::string& key) {
 }
 
 Status MemKV::Delete(const std::string& key) {
+  obs::SampledTimer timer(delete_us_, clock_);
   Status gate = health_.WriteGate("memkv");
   if (!gate.ok()) return gate;
   const uint64_t h = HashKey(key);
@@ -345,7 +392,7 @@ size_t MemKV::Scan(const std::function<bool(const std::string&,
               // entry is still omitted (there is no plaintext to hand
               // out), but the failure is counted and surfaced.
               ++decrypt_failures;
-              scan_decrypt_failures_.fetch_add(1, std::memory_order_relaxed);
+              m_scan_decrypt_fail_->Add(1);
               return true;
             }
             return fn(key, plain.value());
@@ -358,10 +405,12 @@ size_t MemKV::Scan(const std::function<bool(const std::string&,
 }
 
 size_t MemKV::RunExpiryCycle() {
+  obs::ScopedTimer timer(expiry_cycle_us_, clock_);
   const int64_t now = NowMicros();
   const size_t erased = options_.expiry_mode == ExpiryMode::kStrictScan
                             ? RunStrictCycle(now)
                             : RunLazyCycle(now);
+  if (erased > 0) m_expired_keys_->Add(erased);
   // Expiry erasures retire nodes; the cycle doubles as the reclaim tick so
   // retired memory is bounded even when the write paths go quiet.
   EpochManager::Global().TryReclaim();
@@ -462,8 +511,11 @@ void MemKV::Clear() {
     while (!s.ttl_heap.empty()) s.ttl_heap.pop();
     s.bytes = 0;
   }
-  std::lock_guard<std::mutex> l(tomb_mu_);
-  tombstones_.clear();
+  {
+    std::lock_guard<std::mutex> l(tomb_mu_);
+    tombstones_.clear();
+  }
+  m_tombstones_->Set(0);
   // The wholesale clear just retired every node; give the reclaimer a push
   // so bench reload loops don't accumulate dead generations.
   EpochManager::Global().TryReclaim();
@@ -481,6 +533,7 @@ Status MemKV::AddTombstone(const std::string& key) {
     std::lock_guard<std::mutex> l(tomb_mu_);
     inserted = tombstones_.insert(key).second;
   }
+  if (inserted) m_tombstones_->Add(1);
   if (inserted && aof_active_.load(std::memory_order_acquire)) {
     Status s = AofAppend('T', key, "", 0);
     if (!s.ok()) {
@@ -488,6 +541,7 @@ Status MemKV::AddTombstone(const std::string& key) {
       // caller does not report an erasure it cannot prove later.
       std::lock_guard<std::mutex> l(tomb_mu_);
       tombstones_.erase(key);
+      m_tombstones_->Add(-1);
       return s;
     }
   }
@@ -500,6 +554,7 @@ void MemKV::ClearTombstone(const std::string& key) {
     std::lock_guard<std::mutex> l(tomb_mu_);
     erased = tombstones_.erase(key) != 0;
   }
+  if (erased) m_tombstones_->Add(-1);
   if (erased && aof_active_.load(std::memory_order_acquire)) {
     AofAppend('t', key, "", 0).ok();
   }
@@ -554,15 +609,23 @@ Status MemKV::AofAppendLocked(const std::string& rec) {
     // The frame may be partially on disk (torn): appending more would
     // strand every later record behind garbage. Degrade; a successful
     // CompactAof — which rewrites the whole log from memory — heals.
+    m_aof_append_fail_->Add(1);
     health_.Degrade(s);
     return s;
   }
-  aof_file_bytes_.fetch_add(rec.size());
+  m_aof_appends_->Add(1);
+  m_aof_append_bytes_->Add(rec.size());
+  m_aof_log_bytes_->Add(static_cast<int64_t>(rec.size()));
   if (options_.sync_policy == SyncPolicy::kAlways) {
     s = aof_->Sync();
     // fsyncgate: a failed fsync may have dropped the dirty pages while
     // marking them clean — no retry can prove the acked tail is durable.
-    if (!s.ok()) health_.Degrade(s);
+    if (s.ok()) {
+      m_aof_syncs_->Add(1);
+    } else {
+      m_aof_sync_fail_->Add(1);
+      health_.Degrade(s);
+    }
     return s;
   }
   if (options_.sync_policy == SyncPolicy::kEverySec) {
@@ -570,7 +633,12 @@ Status MemKV::AofAppendLocked(const std::string& rec) {
     if (now - last_sync_micros_ >= 1000000) {
       last_sync_micros_ = now;
       s = aof_->Sync();
-      if (!s.ok()) health_.Degrade(s);
+      if (s.ok()) {
+        m_aof_syncs_->Add(1);
+      } else {
+        m_aof_sync_fail_->Add(1);
+        health_.Degrade(s);
+      }
       return s;
     }
   }
@@ -610,7 +678,12 @@ void MemKV::AofMaybeSync() {
     // The cron is the only fsync an everysec store may get for seconds of
     // acked writes — swallowing its failure here would silently un-ack
     // them on the next crash.
-    if (!s.ok()) health_.Degrade(s);
+    if (s.ok()) {
+      m_aof_syncs_->Add(1);
+    } else {
+      m_aof_sync_fail_->Add(1);
+      health_.Degrade(s);
+    }
   }
 }
 
@@ -698,10 +771,10 @@ Status MemKV::AofReplay(const std::string& contents, size_t* valid_prefix) {
       EraseLocked(s, k, h);
     } else if (op == 'T') {
       std::lock_guard<std::mutex> l(tomb_mu_);
-      tombstones_.insert(std::string(key));
+      if (tombstones_.insert(std::string(key)).second) m_tombstones_->Add(1);
     } else if (op == 't') {
       std::lock_guard<std::mutex> l(tomb_mu_);
-      tombstones_.erase(std::string(key));
+      if (tombstones_.erase(std::string(key)) != 0) m_tombstones_->Add(-1);
     } else if (op == 'R') {
       // read-log entry: no state change
     } else {
@@ -718,7 +791,7 @@ Status MemKV::AofReplay(const std::string& contents, size_t* valid_prefix) {
 Status MemKV::CompactAof() {
   if (!options_.aof_enabled) return Status::OK();  // nothing on disk to shrink
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
-  const uint64_t bytes_before = aof_file_bytes_.load();
+  const uint64_t bytes_before = AofLogBytes();
   // Phase 1: arm the mirror buffer — from here on every AofAppend is
   // captured for the new log as well as the old one. A degraded store may
   // have no live handle (failed re-establishment); the rewrite proceeds
@@ -867,14 +940,14 @@ Status MemKV::CompactAof() {
       health_.Degrade(st);
       return st;
     }
-    aof_file_bytes_.store(tmp_bytes);
+    m_aof_log_bytes_->Set(static_cast<int64_t>(tmp_bytes));
     // The whole log was just rebuilt from authoritative memory and
     // fsynced: whatever durability failure degraded the store is behind
     // us. Writes may resume.
     aof_active_.store(true, std::memory_order_release);
     health_.Heal();
   }
-  aof_rewrites_.fetch_add(1);
+  m_aof_rewrites_->Add(1);
   last_rewrite_before_.store(bytes_before);
   last_rewrite_after_.store(tmp_bytes);
   last_rewrite_micros_.store(RealClock::Default()->NowMicros());
@@ -886,7 +959,7 @@ bool MemKV::AofCompactionDue() const {
   if (options_.aof_compact_min_bytes == 0 || options_.aof_compact_ratio <= 0) {
     return false;
   }
-  const uint64_t log = aof_file_bytes_.load();
+  const uint64_t log = AofLogBytes();
   if (log < options_.aof_compact_min_bytes) return false;
   return double(log) > options_.aof_compact_ratio * double(ApproximateBytes());
 }
@@ -897,8 +970,8 @@ void MemKV::MaybeCompactAof() {
 
 AofStats MemKV::GetAofStats() const {
   AofStats s;
-  s.rewrites = aof_rewrites_.load();
-  s.log_bytes = aof_file_bytes_.load();
+  s.rewrites = m_aof_rewrites_->Value();
+  s.log_bytes = AofLogBytes();
   s.live_bytes = ApproximateBytes();
   s.last_bytes_before = last_rewrite_before_.load();
   s.last_bytes_after = last_rewrite_after_.load();

@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "crypto/aead.h"
 #include "kvstore/epoch_map.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 
 namespace gdpr::kv {
@@ -82,6 +83,11 @@ struct Options {
   // temp creation, rename, reopen). Hot-path Sync failures never retry —
   // see docs/PERSISTENCE.md "Failure policy".
   IoFailurePolicy io_policy;
+
+  // Shared metrics registry (the GDPR layer passes its own so one
+  // Snapshot covers every layer). nullptr => the store owns a private one,
+  // reachable via metrics_registry().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Observability for the AOF rewrite path (surfaced through the GDPR layer
@@ -141,9 +147,10 @@ class MemKV {
                                        const std::string& value)>& fn);
 
   // Cumulative count of AEAD decrypt failures observed by Scan. Zero on a
-  // healthy store; tests assert this stays zero.
+  // healthy store; tests assert this stays zero. Thin view over the
+  // registry counter memkv_scan_decrypt_failures.
   uint64_t ScanDecryptFailures() const {
-    return scan_decrypt_failures_.load(std::memory_order_relaxed);
+    return m_scan_decrypt_fail_->Value();
   }
 
   // One expiry cycle under the configured mode. Returns keys erased.
@@ -165,7 +172,11 @@ class MemKV {
   // temp file is discarded on the next Open). No-op when the AOF is off.
   Status CompactAof();
   // Log length / auto-trigger decision, for callers building policy above.
-  uint64_t AofLogBytes() const { return aof_file_bytes_.load(); }
+  // Thin view over the registry gauge memkv_aof_log_bytes.
+  uint64_t AofLogBytes() const {
+    const int64_t v = m_aof_log_bytes_->Value();
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
   bool AofCompactionDue() const;
   // Runs CompactAof iff the policy says it is due (the cron calls this).
   void MaybeCompactAof();
@@ -201,6 +212,13 @@ class MemKV {
   HealthState Health() const { return health_.state(); }
   Status HealthCause() const { return health_.cause(); }
   AofReplayStats aof_replay_stats() const { return aof_replay_stats_; }
+
+  // --- Observability ---------------------------------------------------------
+  // The registry this store records into (options.metrics, or the private
+  // one). Gauges that are derived rather than maintained (epoch backlog,
+  // resident entries) are refreshed here before the snapshot is taken.
+  obs::MetricsRegistry* metrics_registry() const { return metrics_; }
+  obs::RegistrySnapshot StatsSnapshot();
 
  private:
   struct HeapItem {
@@ -266,7 +284,26 @@ class MemKV {
 
   std::unique_ptr<Aead> aead_;
   std::atomic<uint64_t> seal_seq_{1};
-  std::atomic<uint64_t> scan_decrypt_failures_{0};
+
+  // --- Metrics (registry-backed; see docs/OBSERVABILITY.md) ---------------
+  // Resolved once in the constructor; recording is lock-free.
+  void InitMetrics();
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* get_us_ = nullptr;
+  obs::Histogram* set_us_ = nullptr;
+  obs::Histogram* delete_us_ = nullptr;
+  obs::Histogram* expiry_cycle_us_ = nullptr;
+  obs::Counter* m_scan_decrypt_fail_ = nullptr;  // memkv_scan_decrypt_failures
+  obs::Counter* m_expired_keys_ = nullptr;
+  obs::Counter* m_aof_appends_ = nullptr;
+  obs::Counter* m_aof_append_bytes_ = nullptr;
+  obs::Counter* m_aof_append_fail_ = nullptr;
+  obs::Counter* m_aof_syncs_ = nullptr;
+  obs::Counter* m_aof_sync_fail_ = nullptr;
+  obs::Counter* m_aof_rewrites_ = nullptr;  // memkv_aof_rewrites (AofStats view)
+  obs::Gauge* m_aof_log_bytes_ = nullptr;   // memkv_aof_log_bytes (AofStats view)
+  obs::Gauge* m_tombstones_ = nullptr;
 
   std::mutex aof_mu_;
   std::unique_ptr<WritableFile> aof_;
@@ -278,7 +315,6 @@ class MemKV {
   HealthTracker health_;
   AofReplayStats aof_replay_stats_;
   int64_t last_sync_micros_ = 0;
-  std::atomic<uint64_t> aof_file_bytes_{0};
 
   // Rewrite-in-progress state: while a CompactAof snapshot runs, AofAppend
   // mirrors every record into rewrite_buf_ (under aof_mu_) so writes that
@@ -286,7 +322,6 @@ class MemKV {
   std::mutex compact_mu_;  // one rewrite at a time
   bool rewrite_active_ = false;  // guarded by aof_mu_
   std::string rewrite_buf_;      // guarded by aof_mu_
-  std::atomic<uint64_t> aof_rewrites_{0};
   std::atomic<uint64_t> aof_rewrite_starts_{0};
   std::atomic<uint64_t> last_rewrite_before_{0};
   std::atomic<uint64_t> last_rewrite_after_{0};

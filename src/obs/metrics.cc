@@ -1,0 +1,267 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace gdpr::obs {
+
+namespace {
+
+// Splits "base{k=\"v\"}" into base and the inner label list (no braces).
+void SplitName(const std::string& name, std::string* base,
+               std::string* labels) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // Drop the trailing '}' too; tolerate a malformed name without one.
+  const size_t end = name.back() == '}' ? name.size() - 1 : name.size();
+  *labels = name.substr(brace + 1, end - brace - 1);
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  const auto& bounds = Histogram::Bounds();
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t before = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= rank) {
+      if (i == 0) return 0.0;
+      const double lo = static_cast<double>(bounds[i - 1]);
+      // The open-ended last bucket has no finite upper edge: report its
+      // lower edge (the estimate saturates at ~8.9 s).
+      if (i == counts.size() - 1) return lo;
+      const double hi = static_cast<double>(bounds[i]);
+      const double frac =
+          (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+    }
+  }
+  return static_cast<double>(bounds[bounds.size() - 2]);
+}
+
+void RegistrySnapshot::MergeFrom(const RegistrySnapshot& o) {
+  std::unordered_map<std::string, size_t> index;
+  index.reserve(counters.size());
+  for (size_t i = 0; i < counters.size(); ++i) index[counters[i].first] = i;
+  for (const auto& [name, v] : o.counters) {
+    auto it = index.find(name);
+    if (it == index.end()) {
+      counters.emplace_back(name, v);
+    } else {
+      counters[it->second].second += v;
+    }
+  }
+
+  index.clear();
+  for (size_t i = 0; i < gauges.size(); ++i) index[gauges[i].first] = i;
+  for (const auto& [name, v] : o.gauges) {
+    auto it = index.find(name);
+    if (it == index.end()) {
+      gauges.emplace_back(name, v);
+    } else {
+      gauges[it->second].second += v;
+    }
+  }
+
+  index.clear();
+  for (size_t i = 0; i < histograms.size(); ++i)
+    index[histograms[i].name] = i;
+  for (const auto& h : o.histograms) {
+    auto it = index.find(h.name);
+    if (it == index.end()) {
+      histograms.push_back(h);
+    } else {
+      histograms[it->second].MergeFrom(h);
+    }
+  }
+}
+
+RegistrySnapshot RegistrySnapshot::Delta(const RegistrySnapshot& before) const {
+  RegistrySnapshot out = *this;  // gauges keep their current values
+
+  std::unordered_map<std::string, uint64_t> base;
+  base.reserve(before.counters.size());
+  for (const auto& [name, v] : before.counters) base[name] = v;
+  for (auto& [name, v] : out.counters) {
+    auto it = base.find(name);
+    if (it != base.end()) v = v >= it->second ? v - it->second : 0;
+  }
+
+  std::unordered_map<std::string, const HistogramSnapshot*> hbase;
+  hbase.reserve(before.histograms.size());
+  for (const auto& h : before.histograms) hbase[h.name] = &h;
+  for (auto& h : out.histograms) {
+    auto it = hbase.find(h.name);
+    if (it != hbase.end()) h.Subtract(*it->second);
+  }
+  return out;
+}
+
+const HistogramSnapshot* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+uint64_t RegistrySnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t RegistrySnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string RegistrySnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += "# TYPE ";
+    std::string base, labels;
+    SplitName(name, &base, &labels);
+    out += base;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string base, labels;
+    SplitName(name, &base, &labels);
+    out += "# TYPE ";
+    out += base;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  const auto& bounds = Histogram::Bounds();
+  for (const auto& h : histograms) {
+    std::string base, labels;
+    SplitName(h.name, &base, &labels);
+    const std::string label_prefix = labels.empty() ? "" : labels + ",";
+    out += "# TYPE ";
+    out += base;
+    out += " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      if (h.counts[i] == 0 && i + 1 != h.counts.size()) continue;
+      out += base;
+      out += "_bucket{";
+      out += label_prefix;
+      out += "le=\"";
+      out += i + 1 == h.counts.size() ? "+Inf" : std::to_string(bounds[i]);
+      out += "\"} ";
+      out += std::to_string(cum);
+      out += '\n';
+    }
+    out += base;
+    out += labels.empty() ? "_sum" : "_sum{" + labels + "}";
+    out += ' ';
+    out += std::to_string(h.sum);
+    out += '\n';
+    out += base;
+    out += labels.empty() ? "_count" : "_count{" + labels + "}";
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJson(name);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJson(name);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJson(h.name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"mean\":";
+    out += FormatDouble(h.Mean());
+    out += ",\"p50\":";
+    out += FormatDouble(h.Percentile(50));
+    out += ",\"p95\":";
+    out += FormatDouble(h.Percentile(95));
+    out += ",\"p99\":";
+    out += FormatDouble(h.Percentile(99));
+    out += ",\"p999\":";
+    out += FormatDouble(h.Percentile(99.9));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace gdpr::obs

@@ -13,6 +13,41 @@ Database::Database(const RelOptions& options) : options_(options) {
   if (options_.encrypt_at_rest) {
     aead_ = std::make_unique<Aead>(options_.encryption_key);
   }
+  InitMetrics();
+}
+
+void Database::InitMetrics() {
+  if (options_.metrics) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  insert_us_ = metrics_->GetHistogram("reldb_insert_us");
+  select_us_ = metrics_->GetHistogram("reldb_select_us");
+  update_us_ = metrics_->GetHistogram("reldb_update_us");
+  delete_us_ = metrics_->GetHistogram("reldb_delete_us");
+  checkpoint_us_ = metrics_->GetHistogram("reldb_checkpoint_us");
+  m_wal_appends_ = metrics_->GetCounter("reldb_wal_appends_total");
+  m_wal_append_bytes_ = metrics_->GetCounter("reldb_wal_append_bytes_total");
+  m_wal_failures_ = metrics_->GetCounter("reldb_wal_failures_total");
+  m_stmt_statements_ = metrics_->GetCounter("reldb_stmt_statements_total");
+  m_stmt_bytes_total_ = metrics_->GetCounter("reldb_stmt_bytes_total");
+  m_checkpoints_ = metrics_->GetCounter("reldb_checkpoints_total");
+  m_wal_log_bytes_ = metrics_->GetGauge("reldb_wal_log_bytes");
+  m_stmt_log_bytes_ = metrics_->GetGauge("reldb_stmt_log_bytes");
+  wal_health_.AttachMetrics(
+      metrics_->GetGauge("reldb_wal_health_state"),
+      metrics_->GetCounter("reldb_wal_health_transitions_total"));
+  stmt_health_.AttachMetrics(
+      metrics_->GetGauge("reldb_stmt_health_state"),
+      metrics_->GetCounter("reldb_stmt_health_transitions_total"));
+}
+
+obs::RegistrySnapshot Database::StatsSnapshot() {
+  metrics_->GetGauge("reldb_bytes")
+      ->Set(static_cast<int64_t>(ApproximateBytes()));
+  return metrics_->Snapshot();
 }
 
 Database::~Database() { Close().ok(); }
@@ -91,7 +126,7 @@ Status Database::Open() {
           wal_health_.Fail(s);
           return s;
         }
-        wal_file_bytes_.store(frame.size());
+        m_wal_log_bytes_->Set(static_cast<int64_t>(frame.size()));
       } else {
         const size_t frame_len = size_t(body.data() - contents.value().data());
         const size_t valid = ParseWal(body);
@@ -122,9 +157,9 @@ Status Database::Open() {
               return s;
             }
           }
-          wal_file_bytes_.store(keep.size());
+          m_wal_log_bytes_->Set(static_cast<int64_t>(keep.size()));
         } else {
-          wal_file_bytes_.store(contents.value().size());
+          m_wal_log_bytes_->Set(static_cast<int64_t>(contents.value().size()));
         }
       }
       // Sealed snapshot cells carry seqs below the recorded checkpoint
@@ -151,7 +186,7 @@ Status Database::Open() {
           wal_health_.Fail(s);
           return s;
         }
-        wal_file_bytes_.store(frame.size());
+        m_wal_log_bytes_->Set(static_cast<int64_t>(frame.size()));
       }
     }
     if (!wal_) {
@@ -182,6 +217,7 @@ Status Database::Open() {
       auto existing = env_->FileSize(options_.statement_log_path);
       if (existing.ok()) stmt_bytes_ = existing.value();
     }
+    m_stmt_log_bytes_->Set(static_cast<int64_t>(stmt_bytes_));
     stmt_active_.store(true, std::memory_order_release);
   }
   const int64_t now = RealClock::Default()->NowMicros();
@@ -450,6 +486,7 @@ Row Database::DecodeRow(const Table* /*t*/, const Row& stored) const {
 }
 
 Status Database::Insert(Table* t, Row row) {
+  obs::SampledTimer timer(insert_us_, clock_);
   if (!t) return Status::InvalidArgument("null table");
   if (row.size() != t->schema().num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
@@ -538,6 +575,7 @@ std::vector<uint64_t> Database::MatchRowIds(Table* t, const Predicate& pred,
 
 StatusOr<std::vector<Row>> Database::Select(Table* t, const Predicate& pred,
                                             size_t limit) {
+  obs::SampledTimer timer(select_us_, clock_);
   if (!t) return Status::InvalidArgument("null table");
   std::vector<Row> out;
   {
@@ -559,6 +597,7 @@ StatusOr<std::vector<Row>> Database::Select(Table* t, const Predicate& pred,
 
 StatusOr<std::vector<Row>> Database::SelectWhere(
     Table* t, const std::function<bool(const Row&)>& pred, size_t limit) {
+  obs::SampledTimer timer(select_us_, clock_);
   if (!t) return Status::InvalidArgument("null table");
   std::vector<Row> out;
   {
@@ -597,6 +636,7 @@ Status Database::ScanRows(Table* t,
 
 StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
                                   const std::function<void(Row*)>& mutate) {
+  obs::SampledTimer timer(update_us_, clock_);
   if (!t) return Status::InvalidArgument("null table");
   Status healthy = WalHealthy();
   if (!healthy.ok()) return healthy;
@@ -654,6 +694,7 @@ StatusOr<size_t> Database::Update(Table* t, const Predicate& pred,
 }
 
 StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
+  obs::SampledTimer timer(delete_us_, clock_);
   if (!t) return Status::InvalidArgument("null table");
   Status healthy = WalHealthy();
   if (!healthy.ok()) return healthy;
@@ -691,6 +732,7 @@ StatusOr<size_t> Database::Delete(Table* t, const Predicate& pred) {
 
 StatusOr<size_t> Database::DeleteWhere(
     Table* t, const std::function<bool(const Row&)>& pred) {
+  obs::SampledTimer timer(delete_us_, clock_);
   if (!t) return Status::InvalidArgument("null table");
   Status healthy = WalHealthy();
   if (!healthy.ok()) return healthy;
@@ -770,11 +812,14 @@ Status Database::WalAppend(const std::string& text) {
   if (!wal_) return Status::OK();
   Status s = AppendWithPolicy(wal_.get(), text, &wal_last_sync_);
   if (s.ok()) {
-    wal_file_bytes_.fetch_add(text.size());
+    m_wal_appends_->Add(1);
+    m_wal_append_bytes_->Add(text.size());
+    m_wal_log_bytes_->Add(static_cast<int64_t>(text.size()));
   } else {
     // Torn append or failed fsync: the tail is suspect and the acked
     // prefix may not be durable. No retry (fsyncgate) — only the next
     // successful Checkpoint(), a full rewrite from memory, heals.
+    m_wal_failures_->Add(1);
     wal_health_.Degrade(s);
   }
   return s;
@@ -782,6 +827,7 @@ Status Database::WalAppend(const std::string& text) {
 
 Status Database::Checkpoint() {
   if (!options_.wal_enabled) return Status::OK();  // nothing on disk to bound
+  obs::ScopedTimer timer(checkpoint_us_, clock_);
   std::lock_guard<std::mutex> ck(checkpoint_mu_);
   std::lock_guard<std::mutex> tl(tables_mu_);
   if (!open_) return Status::FailedPrecondition("database not open");
@@ -861,7 +907,7 @@ Status Database::Checkpoint() {
     env_->DeleteFile(tmp_path).ok();
     return s;
   }
-  const uint64_t wal_before = wal_file_bytes_.load();
+  const uint64_t wal_before = WalBytes();
   {
     std::lock_guard<std::mutex> wl(wal_mu_);
     if (wal_) {
@@ -896,15 +942,15 @@ Status Database::Checkpoint() {
       wal_health_.Degrade(s);
       return s;
     }
-    wal_file_bytes_.store(frame.size());
+    m_wal_log_bytes_->Set(static_cast<int64_t>(frame.size()));
     // A freshly stamped WAL next to a snapshot of all of memory is exactly
     // the full rewrite a previously degraded WAL was waiting for.
     wal_health_.Heal();
   }
   epoch_ = next_epoch;
-  checkpoints_.fetch_add(1);
+  m_checkpoints_->Add(1);
   last_ckpt_wal_before_.store(wal_before);
-  last_ckpt_wal_after_.store(wal_file_bytes_.load());
+  last_ckpt_wal_after_.store(WalBytes());
   last_ckpt_snapshot_bytes_.store(snapshot_bytes);
   last_ckpt_micros_.store(RealClock::Default()->NowMicros());
   return Status::OK();
@@ -912,8 +958,8 @@ Status Database::Checkpoint() {
 
 CheckpointStats Database::GetCheckpointStats() const {
   CheckpointStats s;
-  s.checkpoints = checkpoints_.load();
-  s.wal_bytes = wal_file_bytes_.load();
+  s.checkpoints = m_checkpoints_->Value();
+  s.wal_bytes = WalBytes();
   s.last_wal_bytes_before = last_ckpt_wal_before_.load();
   s.last_wal_bytes_after = last_ckpt_wal_after_.load();
   s.last_snapshot_bytes = last_ckpt_snapshot_bytes_.load();
@@ -939,6 +985,9 @@ Status Database::LogStatement(const std::string& text) {
     return s;
   }
   stmt_bytes_ += text.size() + 1;
+  m_stmt_statements_->Add(1);
+  m_stmt_bytes_total_->Add(text.size() + 1);
+  m_stmt_log_bytes_->Set(static_cast<int64_t>(stmt_bytes_));
   if (options_.stmt_log_rotate_bytes != 0 &&
       stmt_bytes_ >= options_.stmt_log_rotate_bytes) {
     return RotateStatementLogLocked();
@@ -973,7 +1022,10 @@ Status Database::RotateStatementLogLocked() {
       stmt_log_ = std::move(f.value());
       return Status::OK();
     });
-    if (s.ok()) stmt_bytes_ = 0;
+    if (s.ok()) {
+      stmt_bytes_ = 0;
+      m_stmt_log_bytes_->Set(0);
+    }
   }
   if (!s.ok()) {
     // Statements from here would vanish silently; degrade instead —

@@ -43,6 +43,7 @@
 #include "common/health.h"
 #include "common/status.h"
 #include "crypto/aead.h"
+#include "obs/metrics.h"
 #include "relstore/bptree.h"
 #include "relstore/value.h"
 #include "storage/env.h"
@@ -74,6 +75,11 @@ struct RelOptions {
   // (checkpoint temp/rename, statement-log rotation). Hot-path Sync
   // failures never retry — see docs/PERSISTENCE.md "Failure policy".
   IoFailurePolicy io_policy;
+
+  // Shared metrics registry (the GDPR layer passes its own so one
+  // Snapshot covers every layer). nullptr => the database owns a private
+  // one, reachable via metrics_registry().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ColumnSpec {
@@ -206,7 +212,11 @@ class Database {
   // (mutations append to the WAL under table locks, which Checkpoint
   // holds). No-op success when the WAL is disabled.
   Status Checkpoint();
-  uint64_t WalBytes() const { return wal_file_bytes_.load(); }
+  // Thin view over the registry gauge reldb_wal_log_bytes.
+  uint64_t WalBytes() const {
+    const int64_t v = m_wal_log_bytes_->Value();
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
   CheckpointStats GetCheckpointStats() const;
   // Checkpoint passes *started* (>= GetCheckpointStats().checkpoints).
   // Lets ErasureBarrier decide which erasures a completed pass covered.
@@ -232,6 +242,10 @@ class Database {
     return !wal_health_.cause().ok() ? wal_health_.cause()
                                      : stmt_health_.cause();
   }
+
+  // --- Observability ---------------------------------------------------------
+  obs::MetricsRegistry* metrics_registry() const { return metrics_; }
+  obs::RegistrySnapshot StatsSnapshot();
 
  private:
   // One parsed WAL mutation awaiting its table.
@@ -283,6 +297,24 @@ class Database {
   std::unique_ptr<Aead> aead_;
   std::atomic<uint64_t> seal_seq_{1};
 
+  // --- Metrics (registry-backed; see docs/OBSERVABILITY.md) ---------------
+  void InitMetrics();
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* insert_us_ = nullptr;
+  obs::Histogram* select_us_ = nullptr;
+  obs::Histogram* update_us_ = nullptr;
+  obs::Histogram* delete_us_ = nullptr;
+  obs::Histogram* checkpoint_us_ = nullptr;
+  obs::Counter* m_wal_appends_ = nullptr;
+  obs::Counter* m_wal_append_bytes_ = nullptr;
+  obs::Counter* m_wal_failures_ = nullptr;
+  obs::Counter* m_stmt_statements_ = nullptr;
+  obs::Counter* m_stmt_bytes_total_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;   // reldb_checkpoints_total (view)
+  obs::Gauge* m_wal_log_bytes_ = nullptr;   // reldb_wal_log_bytes (view)
+  obs::Gauge* m_stmt_log_bytes_ = nullptr;  // active statement log length
+
   std::mutex tables_mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 
@@ -295,8 +327,6 @@ class Database {
   // can tell a post-checkpoint WAL tail from a stale pre-checkpoint log.
   uint64_t epoch_ = 0;
   std::mutex checkpoint_mu_;
-  std::atomic<uint64_t> wal_file_bytes_{0};
-  std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> checkpoint_starts_{0};
   std::atomic<uint64_t> last_ckpt_wal_before_{0};
   std::atomic<uint64_t> last_ckpt_wal_after_{0};

@@ -32,7 +32,7 @@ MARKERS = ("BENCH_RESULT_JSON", "BENCH_JSON")
 HIGHER_IS_BETTER = ("ops_per_sec", "speedup", "throughput", "ops",
                     "injection_points", "invariant_checks")
 LOWER_IS_BETTER = ("_us", "_ms", "latency", "bytes", "amplification",
-                   "delay", "p50", "p99", "y", "overhead")
+                   "delay", "p50", "p99", "y", "overhead", "ratio")
 
 
 def parse_jsonl(path):
