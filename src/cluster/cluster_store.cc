@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "common/epoch.h"
 #include "common/string_util.h"
 #include "gdpr/ops.h"
 
@@ -203,6 +204,13 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataByUser(
   Status status;
   auto merged = MergeRecords(
       FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        // One epoch pin per worker task: guards are reentrant, so the
+        // node's index probe and every per-key fetch under it ride this
+        // outer pin (depth bumps) instead of re-running the announce/
+        // re-check protocol once per node visited on the same thread.
+        // Erasure fan-outs deliberately do NOT do this — pinning an epoch
+        // across fsync-heavy mutations would stall reclamation.
+        EpochGuard epoch;
         return node->ReadMetadataByUser(actor, user);
       }),
       &status);
@@ -216,6 +224,7 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataByPurpose(
   Status status;
   auto merged = MergeRecords(
       FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        EpochGuard epoch;  // one pin per worker task (see ReadMetadataByUser)
         return node->ReadMetadataByPurpose(actor, purpose);
       }),
       &status);
@@ -229,6 +238,7 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataBySharing(
   Status status;
   auto merged = MergeRecords(
       FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        EpochGuard epoch;  // one pin per worker task (see ReadMetadataByUser)
         return node->ReadMetadataBySharing(actor, third_party);
       }),
       &status);
@@ -242,6 +252,7 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadRecordsByUser(
   Status status;
   auto merged = MergeRecords(
       FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+        EpochGuard epoch;  // one pin per worker task (see ReadMetadataByUser)
         return node->ReadRecordsByUser(actor, user);
       }),
       &status);

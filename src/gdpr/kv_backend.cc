@@ -101,42 +101,53 @@ Status KvGdprStore::PutRecord(const GdprRecord& record) {
   return db_->Set(record.key, record.Serialize());
 }
 
+// Index mutation serializes on idx_writer_mu_ (readers never touch it —
+// they walk the posting chains under an epoch pin). index_bytes_ is only
+// ever written here and in Reset, both under the mutex, so plain
+// load/adjust/store is race-free; the atomic exists for lock-free readers.
 void KvGdprStore::IndexAdd(const GdprRecord& record) {
-  std::unique_lock<std::shared_mutex> l(idx_mu_);
-  by_user_[record.metadata.user].insert(record.key);
-  index_bytes_ += record.metadata.user.size() + record.key.size() + 16;
+  std::lock_guard<std::mutex> l(idx_writer_mu_);
+  size_t added = 0;
+  if (by_user_.Add(record.metadata.user, record.key)) {
+    added += record.metadata.user.size() + record.key.size() + 16;
+  }
   for (const auto& p : record.metadata.purposes) {
-    by_purpose_[p].insert(record.key);
-    index_bytes_ += p.size() + record.key.size() + 16;
+    if (by_purpose_.Add(p, record.key)) {
+      added += p.size() + record.key.size() + 16;
+    }
   }
   for (const auto& tp : record.metadata.shared_with) {
-    by_sharing_[tp].insert(record.key);
-    index_bytes_ += tp.size() + record.key.size() + 16;
+    if (by_sharing_.Add(tp, record.key)) {
+      added += tp.size() + record.key.size() + 16;
+    }
   }
   if (record.metadata.expiry_micros != 0) {
     ttl_heap_.push(TtlItem{record.metadata.expiry_micros, record.key});
-    index_bytes_ += record.key.size() + 16;
+    ttl_backlog_.store(ttl_heap_.size(), std::memory_order_relaxed);
+    added += record.key.size() + 16;
   }
+  index_bytes_.store(index_bytes_.load(std::memory_order_relaxed) + added,
+                     std::memory_order_relaxed);
 }
 
 void KvGdprStore::IndexRemove(const GdprRecord& record) {
-  std::unique_lock<std::shared_mutex> l(idx_mu_);
-  auto drop = [this](std::unordered_map<std::string,
-                                        std::unordered_set<std::string>>& idx,
-                     const std::string& val, const std::string& key) {
-    auto it = idx.find(val);
-    if (it == idx.end()) return;
-    if (it->second.erase(key)) {
-      const size_t cost = val.size() + key.size() + 16;
-      index_bytes_ -= std::min(index_bytes_, cost);
-    }
-    if (it->second.empty()) idx.erase(it);
-  };
-  drop(by_user_, record.metadata.user, record.key);
-  for (const auto& p : record.metadata.purposes) drop(by_purpose_, p, record.key);
-  for (const auto& tp : record.metadata.shared_with) {
-    drop(by_sharing_, tp, record.key);
+  std::lock_guard<std::mutex> l(idx_writer_mu_);
+  size_t dropped = 0;
+  if (by_user_.Remove(record.metadata.user, record.key)) {
+    dropped += record.metadata.user.size() + record.key.size() + 16;
   }
+  for (const auto& p : record.metadata.purposes) {
+    if (by_purpose_.Remove(p, record.key)) {
+      dropped += p.size() + record.key.size() + 16;
+    }
+  }
+  for (const auto& tp : record.metadata.shared_with) {
+    if (by_sharing_.Remove(tp, record.key)) {
+      dropped += tp.size() + record.key.size() + 16;
+    }
+  }
+  const size_t cur = index_bytes_.load(std::memory_order_relaxed);
+  index_bytes_.store(cur - std::min(cur, dropped), std::memory_order_relaxed);
   // Stale TTL heap entries are skipped at pop time.
 }
 
@@ -224,22 +235,32 @@ StatusOr<GdprMetadata> KvGdprStore::ReadMetadataByKey(const Actor& actor,
 }
 
 std::vector<GdprRecord> KvGdprStore::CollectByIndex(
-    const std::unordered_map<std::string, std::unordered_set<std::string>>&
-        index,
-    const std::string& value, bool include_expired, size_t* read_failures) {
+    const kv::EpochPostingMap& index, const std::string& value,
+    const std::function<bool(const GdprRecord&)>& match, bool include_expired,
+    size_t* read_failures) {
   std::vector<std::string> keys;
   {
-    std::shared_lock<std::shared_mutex> l(idx_mu_);
-    auto it = index.find(value);
-    if (it != index.end()) keys.assign(it->second.begin(), it->second.end());
+    // Lock-free probe: pin one epoch, copy the posting chain out. Index
+    // writers (upserts, erasure, expiry) proceed concurrently throughout.
+    EpochGuard guard;
+    index.ForEachKey(value, [&](const std::string& k) {
+      keys.push_back(k);
+      return true;
+    });
   }
   std::vector<GdprRecord> out;
   out.reserve(keys.size());
-  if (read_failures) *read_failures += index_unreadable_records_;
+  if (read_failures) {
+    *read_failures += index_unreadable_records_.load(std::memory_order_relaxed);
+  }
   for (const auto& k : keys) {
     auto rec = include_expired ? GetRecordRaw(k) : GetRecord(k);
     if (rec.ok()) {
-      out.push_back(std::move(rec.value()));
+      // The fetched record is ground truth; a posting is only a hint. A
+      // concurrent upsert may have re-attributed the key since the probe,
+      // and returning it under the old attribute would hand subject A a
+      // record that now belongs to subject B.
+      if (match(rec.value())) out.push_back(std::move(rec.value()));
     } else if (!rec.status().IsNotFound() && read_failures) {
       // NotFound is normal (expired, or erased since the index probe);
       // anything else means the record exists but cannot be read back.
@@ -292,11 +313,10 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByUser(
   Audit(actor, ops::kReadMetaUser, user, access.ok());
   if (!access.ok()) return access;
   size_t read_failures = 0;
+  auto match = [&](const GdprRecord& r) { return r.metadata.user == user; };
   std::vector<GdprRecord> recs =
-      indexing() ? CollectByIndex(by_user_, user, false, &read_failures)
-                 : CollectByScan([&](const GdprRecord& r) {
-                     return r.metadata.user == user;
-                   }, false, &read_failures);
+      indexing() ? CollectByIndex(by_user_, user, match, false, &read_failures)
+                 : CollectByScan(match, false, &read_failures);
   Status health = CollectionStatus(read_failures);
   if (!health.ok()) return health;
   for (auto& r : recs) r.data.clear();
@@ -314,11 +334,13 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataByPurpose(
   Audit(actor, ops::kReadMetaPurpose, purpose, access.ok());
   if (!access.ok()) return access;
   size_t read_failures = 0;
+  auto match = [&](const GdprRecord& r) {
+    return r.metadata.HasPurpose(purpose);
+  };
   std::vector<GdprRecord> recs =
-      indexing() ? CollectByIndex(by_purpose_, purpose, false, &read_failures)
-                 : CollectByScan([&](const GdprRecord& r) {
-                     return r.metadata.HasPurpose(purpose);
-                   }, false, &read_failures);
+      indexing()
+          ? CollectByIndex(by_purpose_, purpose, match, false, &read_failures)
+          : CollectByScan(match, false, &read_failures);
   Status health = CollectionStatus(read_failures);
   if (!health.ok()) return health;
   for (auto& r : recs) r.data.clear();
@@ -332,12 +354,13 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadMetadataBySharing(
   Audit(actor, ops::kReadMetaSharing, third_party, access.ok());
   if (!access.ok()) return access;
   size_t read_failures = 0;
+  auto match = [&](const GdprRecord& r) {
+    return r.metadata.SharedWith(third_party);
+  };
   std::vector<GdprRecord> recs =
-      indexing()
-          ? CollectByIndex(by_sharing_, third_party, false, &read_failures)
-          : CollectByScan([&](const GdprRecord& r) {
-              return r.metadata.SharedWith(third_party);
-            }, false, &read_failures);
+      indexing() ? CollectByIndex(by_sharing_, third_party, match, false,
+                                  &read_failures)
+                 : CollectByScan(match, false, &read_failures);
   Status health = CollectionStatus(read_failures);
   if (!health.ok()) return health;
   for (auto& r : recs) r.data.clear();
@@ -360,11 +383,10 @@ StatusOr<std::vector<GdprRecord>> KvGdprStore::ReadRecordsByUser(
   Audit(actor, ops::kReadRecordsUser, user, access.ok());
   if (!access.ok()) return access;
   size_t read_failures = 0;
+  auto match = [&](const GdprRecord& r) { return r.metadata.user == user; };
   std::vector<GdprRecord> recs =
-      indexing() ? CollectByIndex(by_user_, user, false, &read_failures)
-                 : CollectByScan([&](const GdprRecord& r) {
-                     return r.metadata.user == user;
-                   }, false, &read_failures);
+      indexing() ? CollectByIndex(by_user_, user, match, false, &read_failures)
+                 : CollectByScan(match, false, &read_failures);
   Status health = CollectionStatus(read_failures);
   if (!health.ok()) return health;
   return recs;
@@ -459,8 +481,8 @@ StatusOr<size_t> KvGdprStore::DeleteRecordsByUser(const Actor& actor,
   };
   size_t read_failures = 0;
   std::vector<GdprRecord> victims =
-      indexing() ? CollectByIndex(by_user_, user, /*include_expired=*/true,
-                                  &read_failures)
+      indexing() ? CollectByIndex(by_user_, user, match_user,
+                                  /*include_expired=*/true, &read_failures)
                  : CollectByScan(match_user, /*include_expired=*/true,
                                  &read_failures);
   size_t erased = 0;
@@ -515,11 +537,12 @@ StatusOr<size_t> KvGdprStore::DeleteExpiredRecords(const Actor& actor) {
       std::string key;
       int64_t expiry = 0;
       {
-        std::unique_lock<std::shared_mutex> l(idx_mu_);
+        std::lock_guard<std::mutex> l(idx_writer_mu_);
         if (ttl_heap_.empty() || ttl_heap_.top().expiry_micros > now) break;
         key = ttl_heap_.top().key;
         expiry = ttl_heap_.top().expiry_micros;
         ttl_heap_.pop();
+        ttl_backlog_.store(ttl_heap_.size(), std::memory_order_relaxed);
       }
       std::lock_guard<std::mutex> key_lock(KeyMutex(key));
       auto rec = GetRecordRaw(key);
@@ -703,23 +726,23 @@ Status KvGdprStore::EvictRecord(const std::string& key) {
 size_t KvGdprStore::RecordCount() { return db_->Size(); }
 
 size_t KvGdprStore::TotalBytes() {
-  size_t idx = 0;
-  {
-    std::shared_lock<std::shared_mutex> l(idx_mu_);
-    idx = index_bytes_;
-  }
-  return db_->ApproximateBytes() + idx + audit_log_.ApproximateBytes();
+  return db_->ApproximateBytes() +
+         index_bytes_.load(std::memory_order_relaxed) +
+         audit_log_.ApproximateBytes();
 }
 
 Status KvGdprStore::Reset() {
   db_->Clear();
   {
-    std::unique_lock<std::shared_mutex> l(idx_mu_);
-    by_user_.clear();
-    by_purpose_.clear();
-    by_sharing_.clear();
+    std::lock_guard<std::mutex> l(idx_writer_mu_);
+    // Publishes fresh empty tables; in-flight index readers finish their
+    // walk in the retired generation (freed by the epoch manager).
+    by_user_.Clear();
+    by_purpose_.Clear();
+    by_sharing_.Clear();
     while (!ttl_heap_.empty()) ttl_heap_.pop();
-    index_bytes_ = 0;
+    ttl_backlog_.store(0, std::memory_order_relaxed);
+    index_bytes_.store(0, std::memory_order_relaxed);
   }
   index_unreadable_records_ = 0;  // nothing resident, nothing unreadable
   return Status::OK();  // db_->Clear() dropped the tombstones too
@@ -778,13 +801,20 @@ Status KvGdprStore::GetHealthCause() {
 }
 
 void KvGdprStore::RefreshGauges() {
-  {
-    std::shared_lock<std::shared_mutex> l(idx_mu_);
-    metrics_->GetGauge("gdpr_ttl_backlog")
-        ->Set(static_cast<int64_t>(ttl_heap_.size()));
-    metrics_->GetGauge("gdpr_index_bytes")
-        ->Set(static_cast<int64_t>(index_bytes_));
-  }
+  metrics_->GetGauge("gdpr_ttl_backlog")
+      ->Set(static_cast<int64_t>(ttl_backlog_.load(std::memory_order_relaxed)));
+  metrics_->GetGauge("gdpr_index_bytes")
+      ->Set(static_cast<int64_t>(index_bytes_.load(std::memory_order_relaxed)));
+  metrics_->GetGauge("gdpr_index_entries{index=\"user\"}")
+      ->Set(static_cast<int64_t>(by_user_.entries()));
+  metrics_->GetGauge("gdpr_index_entries{index=\"purpose\"}")
+      ->Set(static_cast<int64_t>(by_purpose_.entries()));
+  metrics_->GetGauge("gdpr_index_entries{index=\"sharing\"}")
+      ->Set(static_cast<int64_t>(by_sharing_.entries()));
+  metrics_->GetGauge("gdpr_index_retired_nodes")
+      ->Set(static_cast<int64_t>(by_user_.retired_nodes() +
+                                 by_purpose_.retired_nodes() +
+                                 by_sharing_.retired_nodes()));
   metrics_->GetGauge("gdpr_records")->Set(static_cast<int64_t>(db_->Size()));
   metrics_->GetGauge("gdpr_tombstones")
       ->Set(static_cast<int64_t>(db_->TombstoneCount()));

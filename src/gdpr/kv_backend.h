@@ -9,26 +9,29 @@
 // indexed lookups; bench_index_fastpath measures the gap.
 //
 // Read fast path: every record fetch here bottoms out in MemKV's
-// epoch-protected lock-free Get — point reads (ReadDataByKey /
-// ReadMetadataByKey) and the per-key fetches behind an index probe
-// (CollectByIndex) hold no shard lock, so metadata queries scale with
-// reader threads instead of serializing on them. Scan-based paths report
-// at-rest decrypt failures instead of skipping them silently.
+// epoch-protected lock-free Get, and the secondary indexes themselves are
+// epoch-protected posting maps (kv::EpochPostingMap) — a metadata query
+// pins one epoch, walks the posting chain without any index lock, then
+// fetches + revalidates each key against the engine. Index writers
+// (upsert/erasure/expiry) serialize on a narrow mutex that no read path
+// ever touches, so metadata queries scale with reader threads instead of
+// serializing on them. Scan-based paths report at-rest decrypt failures
+// instead of skipping them silently.
 
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "gdpr/store.h"
 #include "kvstore/db.h"
+#include "kvstore/epoch_map.h"
 
 namespace gdpr {
 
@@ -180,11 +183,15 @@ class KvGdprStore : public GdprStore {
   // report records that exist but could not be read back (at-rest decrypt
   // failure, parse failure) through *read_failures — queries and erasures
   // built on a silently-partial collection would misreport compliance.
+  //
+  // The index path copies the posting chain under one EpochGuard (no index
+  // lock), then fetches each key and keeps only records `match` accepts:
+  // postings are hints, and a concurrent upsert may have re-attributed a
+  // key since the probe — the fetched record is ground truth.
   std::vector<GdprRecord> CollectByIndex(
-      const std::unordered_map<std::string, std::unordered_set<std::string>>&
-          index,
-      const std::string& value, bool include_expired = false,
-      size_t* read_failures = nullptr);
+      const kv::EpochPostingMap& index, const std::string& value,
+      const std::function<bool(const GdprRecord&)>& match,
+      bool include_expired = false, size_t* read_failures = nullptr);
   std::vector<GdprRecord> CollectByScan(
       const std::function<bool(const GdprRecord&)>& match,
       bool include_expired = false, size_t* read_failures = nullptr);
@@ -205,13 +212,22 @@ class KvGdprStore : public GdprStore {
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<kv::MemKV> db_;
 
-  std::shared_mutex idx_mu_;
-  std::unordered_map<std::string, std::unordered_set<std::string>> by_user_;
-  std::unordered_map<std::string, std::unordered_set<std::string>> by_purpose_;
-  std::unordered_map<std::string, std::unordered_set<std::string>> by_sharing_;
+  // Secondary indexes, readable with no lock at all: readers pin an epoch
+  // and walk the posting chains. This narrow mutex serializes only index
+  // *mutation* (IndexAdd/IndexRemove, TTL-heap pushes and pops, Reset) —
+  // no read path acquires it. The per-key mutexes above already order
+  // same-key index updates against each other; this one orders cross-key
+  // writers inside the shared posting structures.
+  std::mutex idx_writer_mu_;
+  kv::EpochPostingMap by_user_;
+  kv::EpochPostingMap by_purpose_;
+  kv::EpochPostingMap by_sharing_;
   std::priority_queue<TtlItem, std::vector<TtlItem>, std::greater<TtlItem>>
-      ttl_heap_;
-  size_t index_bytes_ = 0;
+      ttl_heap_;  // guarded by idx_writer_mu_
+  // Mirrors of writer-side accounting, atomically readable by gauges and
+  // TotalBytes without touching idx_writer_mu_.
+  std::atomic<size_t> ttl_backlog_{0};
+  std::atomic<size_t> index_bytes_{0};
 
   // Tombstones live in MemKV (persisted in the AOF, carried across
   // rewrites); this layer only tracks the erasure/compaction contract.
@@ -221,7 +237,8 @@ class KvGdprStore : public GdprStore {
   // index rebuild: they are resident but in no index, so indexed
   // collections report them as read failures rather than silently missing
   // them. Sticky until Reset/clean reopen — conservative by design.
-  size_t index_unreadable_records_ = 0;
+  // Atomic because lock-free collections read it mid-flight.
+  std::atomic<size_t> index_unreadable_records_{0};
 
   std::array<std::mutex, 64> key_mu_;
 };

@@ -275,4 +275,285 @@ class EpochMap {
   size_t size_ = 0;  // guarded by the caller's shard writer lock
 };
 
+// EpochPostingMap: a lock-free-readable multimap for the GDPR secondary
+// indexes — attribute value (a user id, a purpose, a sharing partner) ->
+// posting chain of record keys. Same discipline as EpochMap (single writer
+// under an external narrow mutex; readers pin an epoch and walk atomic
+// links) with one extra level of indirection: each attribute node points at
+// a refcounted PostingList that is *stable across table generations*.
+// Growth copies attribute nodes but shares their lists, so a reader mid-walk
+// in a pre-growth generation still observes the list's current head — the
+// chain is never forked by a resize.
+//
+// Posting chains are hint sets, not ground truth. A reader may see a key
+// whose record was erased or re-attributed after its walk began, and may
+// miss a key added after it; the GDPR layer revalidates every key against
+// the record fetched from the engine. What the epoch protocol guarantees is
+// memory safety — nothing a pinned reader can reach is freed — plus
+// per-mutation atomicity on the writer side.
+class EpochPostingMap {
+ public:
+  struct PostingNode {
+    explicit PostingNode(std::string k) : key(std::move(k)) {}
+    const std::string key;
+    std::atomic<PostingNode*> next{nullptr};
+  };
+
+  // Shared between attribute-node generations via a writer-side refcount
+  // (the EntryBlock pattern). The destructor only ever runs epoch-deferred
+  // (last unref from a retired AttrNode's deleter) or at map teardown, so
+  // any chain nodes still linked are unreachable by then.
+  struct PostingList {
+    std::atomic<PostingNode*> head{nullptr};
+    std::atomic<uint32_t> refs{1};
+    ~PostingList() {
+      PostingNode* n = head.load(std::memory_order_relaxed);
+      while (n) {
+        PostingNode* next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+      }
+    }
+  };
+
+  struct AttrNode {
+    AttrNode(std::string v, uint64_t h, PostingList* l)
+        : value(std::move(v)), hash(h), list(l) {}
+    ~AttrNode() { UnrefList(list); }
+    const std::string value;
+    const uint64_t hash;
+    PostingList* const list;
+    std::atomic<AttrNode*> next{nullptr};
+  };
+
+  explicit EpochPostingMap(size_t initial_buckets = 16)
+      : table_(new Table(RoundUpPow2(initial_buckets))) {}
+
+  ~EpochPostingMap() {
+    // Destruction contract: no concurrent readers or writers. Retired
+    // generations and unlinked nodes already sit in the epoch manager's
+    // lists; only the current generation is freed here.
+    DeleteGeneration(table_.load(std::memory_order_relaxed));
+  }
+
+  EpochPostingMap(const EpochPostingMap&) = delete;
+  EpochPostingMap& operator=(const EpochPostingMap&) = delete;
+
+  // ---- reader side (caller holds an EpochGuard) ---------------------------
+
+  // Lock-free walk of one attribute's posting chain; fn returns false to
+  // stop early. The snapshot guarantee is per-link: concurrent adds and
+  // removes may or may not be seen.
+  template <typename Fn>  // Fn: bool(const std::string& key)
+  void ForEachKey(const std::string& value, Fn fn) const {
+    const uint64_t h = HashValue(value);
+    const Table* t = table_.load(std::memory_order_acquire);
+    for (const AttrNode* n =
+             t->buckets[h & t->mask].load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (n->hash != h || n->value != value) continue;
+      for (const PostingNode* p =
+               n->list->head.load(std::memory_order_acquire);
+           p != nullptr; p = p->next.load(std::memory_order_acquire)) {
+        if (!fn(p->key)) return;
+      }
+      return;
+    }
+  }
+
+  // ---- writer side (caller holds its index writer mutex) ------------------
+
+  // Adds (value, key). Returns true when newly added; postings are sets,
+  // a duplicate pair is a no-op.
+  bool Add(const std::string& value, const std::string& key) {
+    const uint64_t h = HashValue(value);
+    Table* t = table_.load(std::memory_order_relaxed);
+    auto& bucket = t->buckets[h & t->mask];
+    AttrNode* attr = FindAttr(bucket, value, h);
+    if (attr == nullptr) {
+      attr = new AttrNode(value, h, new PostingList());
+      attr->next.store(bucket.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      bucket.store(attr, std::memory_order_release);  // publish
+      values_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      for (PostingNode* p = attr->list->head.load(std::memory_order_relaxed);
+           p != nullptr; p = p->next.load(std::memory_order_relaxed)) {
+        if (p->key == key) return false;
+      }
+    }
+    auto* node = new PostingNode(key);
+    node->next.store(attr->list->head.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    attr->list->head.store(node, std::memory_order_release);  // publish
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    // Even if Grow() retires `attr`'s generation one day, mutating through
+    // it stays correct: the PostingList is shared, not copied.
+    if (values_.load(std::memory_order_relaxed) > t->buckets.size()) Grow();
+    return true;
+  }
+
+  // Unlinks + retires one (value, key) posting; an emptied attribute node
+  // is unlinked too (its epoch-deferred deleter unrefs the shared list).
+  // Returns true when the pair existed.
+  bool Remove(const std::string& value, const std::string& key) {
+    const uint64_t h = HashValue(value);
+    Table* t = table_.load(std::memory_order_relaxed);
+    auto& bucket = t->buckets[h & t->mask];
+    AttrNode* attr_prev = nullptr;
+    AttrNode* attr = bucket.load(std::memory_order_relaxed);
+    for (; attr != nullptr;
+         attr_prev = attr, attr = attr->next.load(std::memory_order_relaxed)) {
+      if (attr->hash == h && attr->value == value) break;
+    }
+    if (attr == nullptr) return false;
+    PostingNode* prev = nullptr;
+    for (PostingNode* p = attr->list->head.load(std::memory_order_relaxed);
+         p != nullptr; prev = p, p = p->next.load(std::memory_order_relaxed)) {
+      if (p->key != key) continue;
+      PostingNode* after = p->next.load(std::memory_order_relaxed);
+      // Unlink without touching p->next: a reader standing on p keeps a
+      // valid view of the rest of the chain.
+      if (prev == nullptr) {
+        attr->list->head.store(after, std::memory_order_release);
+      } else {
+        prev->next.store(after, std::memory_order_release);
+      }
+      EpochManager::Global().Retire(p);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      retired_.fetch_add(1, std::memory_order_relaxed);
+      if (attr->list->head.load(std::memory_order_relaxed) == nullptr) {
+        // Empty list: drop the attribute node (readers standing on it see
+        // an empty chain; a re-add builds a fresh node + list).
+        AttrNode* attr_after = attr->next.load(std::memory_order_relaxed);
+        if (attr_prev == nullptr) {
+          bucket.store(attr_after, std::memory_order_release);
+        } else {
+          attr_prev->next.store(attr_after, std::memory_order_release);
+        }
+        EpochManager::Global().Retire(attr);
+        values_.fetch_sub(1, std::memory_order_relaxed);
+        retired_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // Drops everything: publishes a fresh empty table, retires the old
+  // generation wholesale (readers may be mid-walk in it).
+  void Clear() {
+    Table* old = table_.load(std::memory_order_relaxed);
+    table_.store(new Table(16), std::memory_order_release);
+    RetireGeneration(old);
+    entries_.store(0, std::memory_order_relaxed);
+    values_.store(0, std::memory_order_relaxed);
+  }
+
+  // ---- introspection (safe from any thread; gauge feeds) ------------------
+
+  // Live (value, key) postings across all attributes.
+  size_t entries() const { return entries_.load(std::memory_order_relaxed); }
+  // Distinct attribute values with a non-empty posting chain.
+  size_t values() const { return values_.load(std::memory_order_relaxed); }
+  // Cumulative nodes handed to the epoch reclaimer (postings, attribute
+  // nodes, retired generations) — the retire pressure this index generates.
+  uint64_t retired_nodes() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Table {
+    explicit Table(size_t n) : buckets(n), mask(n - 1) {}
+    std::vector<std::atomic<AttrNode*>> buckets;
+    const uint64_t mask;
+  };
+
+  static void UnrefList(PostingList* l) {
+    if (l->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete l;
+  }
+
+  static uint64_t HashValue(const std::string& v) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (const char c : v) {
+      h ^= uint8_t(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  static AttrNode* FindAttr(std::atomic<AttrNode*>& bucket,
+                            const std::string& value, uint64_t h) {
+    for (AttrNode* n = bucket.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->hash == h && n->value == value) return n;
+    }
+    return nullptr;
+  }
+
+  // Doubles the table. Fresh attribute nodes share the PostingLists via a
+  // ref bump — the one structural difference from EpochMap's growth, and
+  // what lets writers keep mutating lists reachable from both generations.
+  void Grow() {
+    Table* old = table_.load(std::memory_order_relaxed);
+    auto* grown = new Table(old->buckets.size() * 2);
+    for (auto& bucket : old->buckets) {
+      for (AttrNode* n = bucket.load(std::memory_order_relaxed); n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        n->list->refs.fetch_add(1, std::memory_order_relaxed);
+        auto* copy = new AttrNode(n->value, n->hash, n->list);
+        auto& slot = grown->buckets[n->hash & grown->mask];
+        copy->next.store(slot.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        slot.store(copy, std::memory_order_relaxed);
+      }
+    }
+    table_.store(grown, std::memory_order_release);  // publish
+    RetireGeneration(old);
+  }
+
+  void RetireGeneration(Table* t) {
+    // One batch, one retire-mutex acquisition (see EpochMap). Attribute
+    // deleters unref the shared lists; the last unref frees a list and its
+    // remaining chain.
+    std::vector<std::pair<void*, void (*)(void*)>> batch;
+    batch.reserve(t->buckets.size() + 1);
+    for (auto& bucket : t->buckets) {
+      for (AttrNode* n = bucket.load(std::memory_order_relaxed);
+           n != nullptr;) {
+        AttrNode* next = n->next.load(std::memory_order_relaxed);
+        batch.emplace_back(n,
+                           [](void* q) { delete static_cast<AttrNode*>(q); });
+        n = next;
+      }
+    }
+    batch.emplace_back(t, [](void* q) { delete static_cast<Table*>(q); });
+    retired_.fetch_add(batch.size(), std::memory_order_relaxed);
+    EpochManager::Global().RetireBatch(std::move(batch));
+  }
+
+  static void DeleteGeneration(Table* t) {
+    for (auto& b : t->buckets) {
+      AttrNode* n = b.load(std::memory_order_relaxed);
+      while (n) {
+        AttrNode* next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+      }
+    }
+    delete t;
+  }
+
+  std::atomic<Table*> table_;
+  std::atomic<size_t> entries_{0};
+  std::atomic<size_t> values_{0};
+  std::atomic<uint64_t> retired_{0};
+};
+
 }  // namespace gdpr::kv

@@ -198,6 +198,34 @@ inline void CheckDegradedContract(GdprStore* store) {
   CountCheck();
 }
 
+// Index/scan coherence: with metadata_indexing on, an indexed collection
+// and the O(n) scan must name the same keys after every reopen — a crash
+// that left the rebuilt index missing (or inventing) postings would make
+// SAR answers depend on which code path served them. The honesty signal
+// must agree too: one path reporting DataLoss while the other serves a
+// clean answer is exactly the divergence this check exists to catch.
+inline void CheckIndexMatchesScan(GdprStore* store) {
+  const Actor ctrl = Actor::Controller();
+  for (int u = 0; u < 3; ++u) {
+    const std::string user = "user" + std::to_string(u);
+    std::set<std::string> via_scan;
+    Status scan = store->ScanRecords(ctrl, [&](const GdprRecord& rec) {
+      if (rec.metadata.user == user) via_scan.insert(rec.key);
+      return true;
+    });
+    auto via_index = store->ReadMetadataByUser(ctrl, user);
+    EXPECT_EQ(scan.ok(), via_index.ok())
+        << user << ": scan=" << scan.ToString()
+        << " index=" << via_index.status().ToString();
+    CountCheck();
+    if (!scan.ok() || !via_index.ok()) continue;
+    std::set<std::string> via_idx;
+    for (const auto& rec : via_index.value()) via_idx.insert(rec.key);
+    EXPECT_EQ(via_idx, via_scan) << "index/scan divergence for " << user;
+    CountCheck();
+  }
+}
+
 // Machine-checks the reopened store against the ledger.
 inline void CheckRecovery(GdprStore* store, const Ledger& led) {
   const Actor ctrl = Actor::Controller();
@@ -233,6 +261,7 @@ inline void CheckRecovery(GdprStore* store, const Ledger& led) {
   CountCheck();
   EXPECT_TRUE(store->audit_log()->VerifyChain());
   CountCheck();
+  CheckIndexMatchesScan(store);
 }
 
 }  // namespace gdpr::fault

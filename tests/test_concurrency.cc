@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -246,6 +248,132 @@ TEST(Concurrency, GdprPointReadsRaceMutationsAndCompaction) {
     }
   }
   ASSERT_TRUE(store.Close().ok());
+}
+
+// The index-level analogue of the no-R-after-T contract: once
+// DeleteRecordsByUser(u) has returned, no metadata query may ever surface
+// user u again — not from a stale posting a concurrent walker copied, not
+// from a TTL heap entry the expiry cron pops later, not from a posting
+// chain mid-growth. Readers race the erasures and the expiry sweeps the
+// whole time; a churn writer keeps the posting structures growing and
+// shrinking so erasure never runs against a quiet index.
+TEST(Concurrency, ErasedUserNeverReappearsInIndexQueries) {
+  MemEnv env;
+  KvGdprOptions o;
+  o.compliance.metadata_indexing = true;
+  o.compliance.audit_enabled = false;
+  o.kv.env = &env;
+  o.kv.aof_enabled = true;
+  o.kv.aof_path = "erase-race.aof";
+  o.kv.sync_policy = SyncPolicy::kNever;
+  o.kv.shards = 4;
+  gdpr::KvGdprStore store(o);
+  ASSERT_TRUE(store.Open().ok());
+  const Actor controller = Actor::Controller();
+
+  constexpr int kUsers = 6;  // users 0..kUsers-2 get erased; the last churns
+  constexpr int kKeysPerUser = 24;
+  auto user_of = [](int u) { return "user" + std::to_string(u); };
+  auto make = [&](int u, int k, int64_t expiry) {
+    GdprRecord rec;
+    rec.key = "u" + std::to_string(u) + "-k" + std::to_string(k);
+    rec.data = "payload";
+    rec.metadata.user = user_of(u);
+    rec.metadata.purposes = {"billing"};
+    rec.metadata.origin = "first-party";
+    rec.metadata.expiry_micros = expiry;
+    return rec;
+  };
+  Clock* clock = RealClock::Default();
+  for (int u = 0; u < kUsers; ++u) {
+    for (int k = 0; k < kKeysPerUser; ++k) {
+      // A third of each user's records carry a short TTL, so erasure
+      // tombstoning races the expiry cron over the same keys.
+      const int64_t expiry =
+          (k % 3 == 0) ? clock->NowMicros() + 500 + 200 * k : 0;
+      ASSERT_TRUE(store.CreateRecord(controller, make(u, k, expiry)).ok());
+    }
+  }
+
+  std::array<std::atomic<bool>, kUsers> erased{};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> resurrections{0};
+  std::atomic<uint64_t> mismatches{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      uint32_t x = 0x51caffeeu + uint32_t(t);
+      while (!done.load(std::memory_order_acquire)) {
+        x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+        const int u = int(x % kUsers);
+        // Sample the flag BEFORE the query: if erasure had completed by
+        // then, the query that follows must observe the emptiness.
+        const bool was_erased = erased[u].load(std::memory_order_acquire);
+        auto got = store.ReadMetadataByUser(controller, user_of(u));
+        if (!got.ok()) continue;
+        if (was_erased && !got.value().empty()) {
+          resurrections.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (const auto& rec : got.value()) {
+          if (rec.metadata.user != user_of(u)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::thread expiry([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      store.DeleteExpiredRecords(controller).ok();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::thread churn([&] {
+    // Upserts confined to the never-erased last user: posting chains keep
+    // growing/shrinking under the readers without touching erased users.
+    uint32_t x = 0xc0dec0deu;
+    int i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+      const int k = int(x % kKeysPerUser);
+      const int64_t expiry =
+          (x % 4 == 0) ? clock->NowMicros() + 300 + x % 1500 : 0;
+      store.CreateRecord(controller, make(kUsers - 1, k, expiry)).ok();
+      if (++i % 200 == 0) store.CompactNow(controller).ok();
+    }
+  });
+
+  for (int u = 0; u < kUsers - 1; ++u) {
+    auto n = store.DeleteRecordsByUser(controller, user_of(u));
+    ASSERT_TRUE(n.ok()) << user_of(u);
+    erased[u].store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  expiry.join();
+  churn.join();
+
+  EXPECT_EQ(resurrections.load(), 0u) << "an erased user reappeared";
+  EXPECT_EQ(mismatches.load(), 0u);
+  // Post-quiesce: every erased user's query is empty and every one of its
+  // keys has tombstone evidence (whether erasure or the expiry cron got
+  // there first, both paths must leave it).
+  for (int u = 0; u < kUsers - 1; ++u) {
+    auto got = store.ReadMetadataByUser(controller, user_of(u));
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got.value().empty()) << user_of(u);
+    for (int k = 0; k < kKeysPerUser; ++k) {
+      const std::string key = "u" + std::to_string(u) + "-k" + std::to_string(k);
+      auto verified = store.VerifyDeletion(controller, key);
+      ASSERT_TRUE(verified.ok());
+      EXPECT_TRUE(verified.value()) << key;
+    }
+  }
+  ASSERT_TRUE(store.Close().ok());
+  EpochManager::Global().DrainRetired();
 }
 
 }  // namespace

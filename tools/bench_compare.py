@@ -33,6 +33,10 @@ HIGHER_IS_BETTER = ("ops_per_sec", "speedup", "throughput", "ops",
                     "injection_points", "invariant_checks")
 LOWER_IS_BETTER = ("_us", "_ms", "latency", "bytes", "amplification",
                    "delay", "p50", "p99", "y", "overhead", "ratio")
+# Series points carry their metric in a generic "y" field, so direction
+# must come from the bench *name* (e.g. get-scale-writer-retention and
+# get-scale-meta-speedup regress when they DROP, unlike latency series).
+SERIES_HIGHER_IS_BETTER = ("retention", "speedup", "scale-up", "throughput")
 
 
 def parse_jsonl(path):
@@ -67,9 +71,14 @@ def parse_jsonl(path):
     return out
 
 
-def direction(field):
+def direction(field, bench=""):
     """1 = higher is better, -1 = lower is better, 0 = unknown."""
     f = field.lower()
+    if f == "y":
+        b = bench.lower()
+        for tag in SERIES_HIGHER_IS_BETTER:
+            if tag in b:
+                return 1
     for tag in HIGHER_IS_BETTER:
         if f == tag or f.endswith(tag):
             return 1
@@ -94,7 +103,7 @@ def compare(baseline, current, threshold):
             old = base_metrics.get(field)
             if old is None or old == 0:
                 continue
-            d = direction(field)
+            d = direction(field, key[0])
             if d == 0:
                 d = -1  # unknown fields: growth is suspicious
             # Relative change in the "good" direction; negative = worse.
