@@ -57,7 +57,9 @@ Status ClusterGdprStore::Open() {
     Status s = node->Open();
     if (!s.ok()) return s;
   }
-  // The router's own trail (MOVE-SLOTS, COMPACT-ALL) is evidence too.
+  // The router's own trail (MOVE-SLOTS, COMPACT-ALL) is evidence too. No
+  // shared pipeline to ride here — the nodes each run their own — so the
+  // chain spins up a private one.
   AuditLogOptions router_audit = options_.audit;
   if (!router_audit.path.empty()) router_audit.path += ".router";
   return OpenDurableAudit(router_audit, options_.kv.env,
@@ -269,7 +271,11 @@ StatusOr<size_t> ClusterGdprStore::DeleteRecordsByUser(
   // Forget must be durable on *every* node before it reads as success: a
   // degraded node that cannot tombstone keeps its copies, so report the
   // partial failure with what did get erased elsewhere — the caller (or a
-  // retry after the node heals) finishes the job.
+  // retry after the node heals) finishes the job. Each node runs its own
+  // group-commit pipeline, and a node's erasure path blocks inside
+  // Commit() until its tombstone frame is written (and fsynced under
+  // kAlways) — a fan-out part that returns OK has its tombstone decided
+  // durable, batching or not.
   size_t erased = 0;
   size_t failed_nodes = 0;
   Status first_failure = Status::OK();

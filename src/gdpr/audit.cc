@@ -1,6 +1,7 @@
 #include "gdpr/audit.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/coding.h"
@@ -87,24 +88,6 @@ std::string AuditLog::SegmentPath(uint64_t n) const {
   return opts_.path + ".seg" + std::to_string(n);
 }
 
-Status AuditLog::SyncWithPolicyLocked() const {
-  switch (opts_.sync_policy) {
-    case SyncPolicy::kAlways:
-      return active_->Sync();
-    case SyncPolicy::kEverySec: {
-      const int64_t now = RealClock::Default()->NowMicros();
-      if (now - last_sync_micros_ >= 1000000) {
-        last_sync_micros_ = now;
-        return active_->Sync();
-      }
-      return Status::OK();
-    }
-    case SyncPolicy::kNever:
-      return Status::OK();
-  }
-  return Status::OK();
-}
-
 Status AuditLog::WriteSegmentHeaderLocked(WritableFile* f, uint64_t epoch,
                                           const std::string& anchor,
                                           uint64_t* bytes) const {
@@ -130,6 +113,11 @@ Status AuditLog::OpenDurable(const AuditLogOptions& opts) {
   // Disk is authoritative: the replayed chain replaces any in-memory state
   // (a clean CloseDurable sealed everything to disk first, so a reopen on
   // the same object loses nothing).
+  for (Stage& st : stages_) {
+    std::lock_guard<std::mutex> sl(st.mu);
+    staged_.fetch_sub(st.entries.size(), std::memory_order_acq_rel);
+    st.entries.clear();
+  }
   entries_.clear();
   group_sizes_.clear();
   pending_ = 0;
@@ -140,7 +128,6 @@ Status AuditLog::OpenDurable(const AuditLogOptions& opts) {
   active_seg_ = 1;
   active_bytes_ = 0;
   io_status_ = Status::OK();
-  last_sync_micros_ = RealClock::Default()->NowMicros();
   // A leftover temp (compaction or tail-fix) means a crash before its
   // atomic rename: the existing segments are authoritative.
   for (const char* suffix : {".compact.tmp", ".tailfix.tmp"}) {
@@ -160,6 +147,19 @@ Status AuditLog::OpenDurable(const AuditLogOptions& opts) {
     active_.reset();
     return s;
   }
+  if (opts_.pipeline) {
+    pipeline_ = opts_.pipeline;
+  } else {
+    if (!owned_pipeline_) {
+      CommitPipeline::Options po;
+      po.metrics = metrics_reg_;
+      owned_pipeline_ = std::make_unique<CommitPipeline>(po);
+    }
+    pipeline_ = owned_pipeline_.get();
+  }
+  // No HealthTracker: the chain's health() derives from io_status_, which
+  // latches on the first failed Commit.
+  target_ = pipeline_->Attach("audit", active_.get(), opts_.sync_policy);
   durable_ = true;
   return Status::OK();
 }
@@ -327,15 +327,22 @@ Status AuditLog::ReplayLocked() {
 Status AuditLog::CloseDurable() {
   std::lock_guard<std::mutex> l(mu_);
   if (!durable_) return Status::OK();
+  DrainStagedLocked();
   SealPendingLocked();  // the tail becomes a durable group
   Status out = io_status_;
-  if (active_) {
+  Status qs = pipeline_->WithQuiesced(target_, [&]() -> Status {
+    pipeline_->SetFile(target_, nullptr);
+    if (!active_) return Status::OK();
     Status s = active_->Sync();
-    if (out.ok() && !s.ok()) out = s;
-    s = active_->Close();
-    if (out.ok() && !s.ok()) out = s;
+    Status c = active_->Close();
     active_.reset();
-  }
+    return s.ok() ? c : s;
+  });
+  if (out.ok() && !qs.ok()) out = qs;
+  // The (now detached) target stays parked in the pipeline; a reopen
+  // attaches a fresh one.
+  target_ = nullptr;
+  pipeline_ = nullptr;
   durable_ = false;
   return out;
 }
@@ -361,54 +368,62 @@ void AuditLog::PersistGroupLocked(const std::string& payload, size_t n) const {
   PutLengthPrefixed(&frame, head_);
   PutVarint64(&frame, n);
   frame += payload;
-  Status s = active_->Append(frame);
-  if (s.ok()) s = SyncWithPolicyLocked();
+  const size_t frame_bytes = frame.size();
+  // Seals happen under mu_, so ring 0 alone carries every frame — the FIFO
+  // the hash chain's frame order depends on. kAlways commits return
+  // through the fsync; kEverySec syncs ride the committer's timer (a
+  // timed-sync failure poisons the target, so the NEXT group latches
+  // io_status_ here before any hash gap can reach disk).
+  Status s = pipeline_->Commit(target_, std::move(frame), /*ring_hint=*/0);
   if (!s.ok()) {
     if (m_persist_fail_) m_persist_fail_->Add(1);
     io_status_ = s;
     return;
   }
-  if (m_persisted_bytes_) m_persisted_bytes_->Add(frame.size());
-  active_bytes_ += frame.size();
+  if (m_persisted_bytes_) m_persisted_bytes_->Add(frame_bytes);
+  active_bytes_ += frame_bytes;
   if (opts_.rotate_bytes != 0 && active_bytes_ >= opts_.rotate_bytes) {
     RotateLocked();
   }
 }
 
 void AuditLog::RotateLocked() const {
-  Status s = active_->Sync();
-  if (s.ok()) s = active_->Close();
-  if (!s.ok()) {
-    io_status_ = s;
-    return;
-  }
-  active_.reset();
-  ++active_seg_;
-  // truncate=true: a stale same-numbered file (fenced leftover of an old
-  // incarnation) must not leak frames ahead of ours. Rotation is a
-  // background path and the truncating create is idempotent, so transient
-  // failures get a bounded retry before the latch trips.
-  std::unique_ptr<WritableFile> next;
-  Status fs = RetryIo(opts_.io_policy, [&] {
-    auto f = opts_.env->NewWritableFile(SegmentPath(active_seg_),
-                                        /*truncate=*/true);
-    if (!f.ok()) return f.status();
-    next = std::move(f.value());
+  // All commits to this target happen under mu_ (held here), so the
+  // pipeline drains instantly and no writer can observe the swap.
+  Status qs = pipeline_->WithQuiesced(target_, [&]() -> Status {
+    pipeline_->SetFile(target_, nullptr);
+    Status s = active_->Sync();
+    if (s.ok()) s = active_->Close();
+    if (!s.ok()) return s;
+    active_.reset();
+    ++active_seg_;
+    // truncate=true: a stale same-numbered file (fenced leftover of an old
+    // incarnation) must not leak frames ahead of ours. Rotation is a
+    // background path and the truncating create is idempotent, so transient
+    // failures get a bounded retry before the latch trips.
+    std::unique_ptr<WritableFile> next;
+    Status fs = RetryIo(opts_.io_policy, [&] {
+      auto f = opts_.env->NewWritableFile(SegmentPath(active_seg_),
+                                          /*truncate=*/true);
+      if (!f.ok()) return f.status();
+      next = std::move(f.value());
+      return Status::OK();
+    });
+    if (!fs.ok()) {
+      --active_seg_;
+      return fs;
+    }
+    active_ = std::move(next);
+    uint64_t hdr = 0;
+    // Header written directly while the target is detached: the segment is
+    // not part of the commit stream until SetFile re-attaches it.
+    s = WriteSegmentHeaderLocked(active_.get(), epoch_, head_, &hdr);
+    if (!s.ok()) return s;
+    active_bytes_ = hdr;
+    pipeline_->SetFile(target_, active_.get());
     return Status::OK();
   });
-  if (!fs.ok()) {
-    io_status_ = fs;
-    --active_seg_;
-    return;
-  }
-  active_ = std::move(next);
-  uint64_t hdr = 0;
-  s = WriteSegmentHeaderLocked(active_.get(), epoch_, head_, &hdr);
-  if (!s.ok()) {
-    io_status_ = s;
-    return;
-  }
-  active_bytes_ = hdr;
+  if (!qs.ok()) io_status_ = qs;
 }
 
 StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
@@ -417,6 +432,7 @@ StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
   if (!durable_) return res;
   res.segments_before = active_seg_;
   res.segments_after = active_seg_;
+  DrainStagedLocked();
   SealPendingLocked();
   // A latched append failure means the disk chain is a stale prefix of the
   // in-memory one; the rewrite below re-persists the whole chain from
@@ -451,95 +467,110 @@ StatusOr<AuditCompactResult> AuditLog::Compact(int64_t now_micros) {
     }
   }
   Env* env = opts_.env;
-  // Quiesce the active handle: the rewrite replaces its file.
-  if (active_) {
-    active_->Sync().ok();
-    active_->Close().ok();
-    active_.reset();
-  }
-  const std::string tmp_path = opts_.path + ".compact.tmp";
-  auto reopen_active = [&]() {
-    auto f = env->NewWritableFile(SegmentPath(active_seg_), /*truncate=*/false);
-    if (f.ok()) active_ = std::move(f.value());
-    else io_status_ = f.status();
-  };
-  std::unique_ptr<WritableFile> tmpf;
-  Status tmp_s = RetryIo(opts_.io_policy, [&] {
-    auto f = env->NewWritableFile(tmp_path, /*truncate=*/true);
-    if (!f.ok()) return f.status();
-    tmpf = std::move(f.value());
+  // The whole rewrite runs with the target quiesced: the pipeline must not
+  // touch the handle being replaced, and SetFile at the end re-establishes
+  // the log (clearing any poison from the failure being healed).
+  Status cs = pipeline_->WithQuiesced(target_, [&]() -> Status {
+    pipeline_->SetFile(target_, nullptr);
+    if (active_) {
+      active_->Sync().ok();
+      active_->Close().ok();
+      active_.reset();
+    }
+    const std::string tmp_path = opts_.path + ".compact.tmp";
+    auto reopen_active = [&]() {
+      auto f =
+          env->NewWritableFile(SegmentPath(active_seg_), /*truncate=*/false);
+      if (f.ok()) {
+        active_ = std::move(f.value());
+        pipeline_->SetFile(target_, active_.get());
+      } else {
+        io_status_ = f.status();
+      }
+    };
+    std::unique_ptr<WritableFile> tmpf;
+    Status tmp_s = RetryIo(opts_.io_policy, [&] {
+      auto f = env->NewWritableFile(tmp_path, /*truncate=*/true);
+      if (!f.ok()) return f.status();
+      tmpf = std::move(f.value());
+      return Status::OK();
+    });
+    if (!tmp_s.ok()) {
+      reopen_active();
+      return tmp_s;
+    }
+    const uint64_t next_epoch = epoch_ + 1;
+    uint64_t hdr = 0;
+    Status s =
+        WriteSegmentHeaderLocked(tmpf.get(), next_epoch, new_anchor, &hdr);
+    uint64_t new_bytes = hdr;
+    std::string chain = new_anchor;
+    size_t at = drop_entries;
+    for (size_t g = drop_groups; s.ok() && g < group_sizes_.size(); ++g) {
+      const uint32_t n = group_sizes_[g];
+      std::string payload;
+      for (uint32_t i = 0; i < n; ++i) EncodeEntry(&payload, entries_[at + i]);
+      chain = GroupStepEncoded(chain, payload);
+      std::string frame(1, kFrameGroup);
+      PutLengthPrefixed(&frame, chain);
+      PutVarint64(&frame, n);
+      frame += payload;
+      s = tmpf->Append(frame);
+      new_bytes += frame.size();
+      at += n;
+    }
+    if (s.ok()) s = tmpf->Sync();
+    if (s.ok()) s = tmpf->Close();
+    if (!s.ok()) {
+      env->DeleteFile(tmp_path).ok();
+      reopen_active();
+      return s;
+    }
+    // Commit point. A crash before this rename leaves the old segments
+    // authoritative (the temp is discarded on the next open); after it, the
+    // epoch bump fences the not-yet-deleted old segments off.
+    s = RetryIo(opts_.io_policy,
+                [&] { return env->RenameFile(tmp_path, SegmentPath(1)); });
+    if (!s.ok()) {
+      env->DeleteFile(tmp_path).ok();
+      reopen_active();
+      return s;
+    }
+    for (uint64_t stale = 2;
+         stale <= active_seg_ || env->FileExists(SegmentPath(stale));
+         ++stale) {
+      env->DeleteFile(SegmentPath(stale)).ok();
+    }
+    epoch_ = next_epoch;
+    entries_.erase(entries_.begin(), entries_.begin() + drop_entries);
+    group_sizes_.erase(group_sizes_.begin(),
+                       group_sizes_.begin() + drop_groups);
+    bytes_ = 0;
+    for (const AuditEntry& e : entries_) bytes_ += EntryCost(e);
+    anchor_ = new_anchor;
+    dropped_entries_total_ += drop_entries;
+    active_seg_ = 1;
+    active_bytes_ = new_bytes;
+    // The rewrite re-persisted the entire surviving chain from memory, so a
+    // previously latched append failure is healed.
+    io_status_ = Status::OK();
+    Status rs = RetryIo(opts_.io_policy, [&] {
+      auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/false);
+      if (!f.ok()) return f.status();
+      active_ = std::move(f.value());
+      return Status::OK();
+    });
+    if (!rs.ok()) {
+      io_status_ = rs;
+      return rs;
+    }
+    pipeline_->SetFile(target_, active_.get());
+    res.dropped_entries = drop_entries;
+    res.dropped_groups = drop_groups;
+    res.segments_after = 1;
     return Status::OK();
   });
-  if (!tmp_s.ok()) {
-    reopen_active();
-    return tmp_s;
-  }
-  const uint64_t next_epoch = epoch_ + 1;
-  uint64_t hdr = 0;
-  Status s = WriteSegmentHeaderLocked(tmpf.get(), next_epoch, new_anchor, &hdr);
-  uint64_t new_bytes = hdr;
-  std::string chain = new_anchor;
-  size_t at = drop_entries;
-  for (size_t g = drop_groups; s.ok() && g < group_sizes_.size(); ++g) {
-    const uint32_t n = group_sizes_[g];
-    std::string payload;
-    for (uint32_t i = 0; i < n; ++i) EncodeEntry(&payload, entries_[at + i]);
-    chain = GroupStepEncoded(chain, payload);
-    std::string frame(1, kFrameGroup);
-    PutLengthPrefixed(&frame, chain);
-    PutVarint64(&frame, n);
-    frame += payload;
-    s = tmpf->Append(frame);
-    new_bytes += frame.size();
-    at += n;
-  }
-  if (s.ok()) s = tmpf->Sync();
-  if (s.ok()) s = tmpf->Close();
-  if (!s.ok()) {
-    env->DeleteFile(tmp_path).ok();
-    reopen_active();
-    return s;
-  }
-  // Commit point. A crash before this rename leaves the old segments
-  // authoritative (the temp is discarded on the next open); after it, the
-  // epoch bump fences the not-yet-deleted old segments off.
-  s = RetryIo(opts_.io_policy,
-              [&] { return env->RenameFile(tmp_path, SegmentPath(1)); });
-  if (!s.ok()) {
-    env->DeleteFile(tmp_path).ok();
-    reopen_active();
-    return s;
-  }
-  for (uint64_t stale = 2; stale <= active_seg_ ||
-                           env->FileExists(SegmentPath(stale));
-       ++stale) {
-    env->DeleteFile(SegmentPath(stale)).ok();
-  }
-  epoch_ = next_epoch;
-  entries_.erase(entries_.begin(), entries_.begin() + drop_entries);
-  group_sizes_.erase(group_sizes_.begin(), group_sizes_.begin() + drop_groups);
-  bytes_ = 0;
-  for (const AuditEntry& e : entries_) bytes_ += EntryCost(e);
-  anchor_ = new_anchor;
-  dropped_entries_total_ += drop_entries;
-  active_seg_ = 1;
-  active_bytes_ = new_bytes;
-  // The rewrite re-persisted the entire surviving chain from memory, so a
-  // previously latched append failure is healed.
-  io_status_ = Status::OK();
-  Status rs = RetryIo(opts_.io_policy, [&] {
-    auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/false);
-    if (!f.ok()) return f.status();
-    active_ = std::move(f.value());
-    return Status::OK();
-  });
-  if (!rs.ok()) {
-    io_status_ = rs;
-    return rs;
-  }
-  res.dropped_entries = drop_entries;
-  res.dropped_groups = drop_groups;
-  res.segments_after = 1;
+  if (!cs.ok()) return cs;
   return res;
 }
 
@@ -556,21 +587,70 @@ void AuditLog::SealPendingLocked() const {
   if (durable_) PersistGroupLocked(payload, n);
 }
 
-void AuditLog::Append(AuditEntry entry) {
-  std::lock_guard<std::mutex> l(mu_);
-  // Clamp so the timestamp order invariant survives clock weirdness.
-  if (!entries_.empty() &&
-      entry.timestamp_micros < entries_.back().timestamp_micros) {
-    entry.timestamp_micros = entries_.back().timestamp_micros;
+AuditLog::Stage& AuditLog::StageFor() const {
+  const size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
+  return stages_[h % kStages];
+}
+
+void AuditLog::DrainStagedLocked() const {
+  if (staged_.load(std::memory_order_acquire) == 0) return;
+  std::array<std::vector<AuditEntry>, kStages> grabbed;
+  size_t total = 0;
+  for (size_t i = 0; i < kStages; ++i) {
+    std::lock_guard<std::mutex> sl(stages_[i].mu);
+    grabbed[i] = std::move(stages_[i].entries);
+    stages_[i].entries.clear();
+    total += grabbed[i].size();
   }
-  bytes_ += EntryCost(entry);
-  entries_.push_back(std::move(entry));
+  if (total == 0) return;
+  staged_.fetch_sub(total, std::memory_order_acq_rel);
+  // k-way merge by timestamp, preserving each stage's push order (one
+  // appender always lands in one stage, so a single-threaded caller gets
+  // exactly its append order back). The clamp then keeps the chain's
+  // non-decreasing-timestamp invariant through clock weirdness, as the
+  // locked Append always did.
+  std::array<size_t, kStages> at{};
+  for (size_t done = 0; done < total; ++done) {
+    size_t best = kStages;
+    for (size_t i = 0; i < kStages; ++i) {
+      if (at[i] >= grabbed[i].size()) continue;
+      if (best == kStages || grabbed[i][at[i]].timestamp_micros <
+                                 grabbed[best][at[best]].timestamp_micros) {
+        best = i;
+      }
+    }
+    AuditEntry e = std::move(grabbed[best][at[best]++]);
+    if (!entries_.empty() &&
+        e.timestamp_micros < entries_.back().timestamp_micros) {
+      e.timestamp_micros = entries_.back().timestamp_micros;
+    }
+    bytes_ += EntryCost(e);
+    entries_.push_back(std::move(e));
+    ++pending_;
+  }
+}
+
+void AuditLog::Append(AuditEntry entry) {
+  size_t staged;
+  {
+    Stage& st = StageFor();
+    std::lock_guard<std::mutex> sl(st.mu);
+    st.entries.push_back(std::move(entry));
+    staged = staged_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
   if (m_appends_) m_appends_->Add(1);
-  if (++pending_ >= seal_interval_) SealPendingLocked();
+  if (staged >= seal_interval_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> l(mu_);
+    DrainStagedLocked();
+    if (pending_ >= seal_interval_.load(std::memory_order_relaxed)) {
+      SealPendingLocked();
+    }
+  }
 }
 
 void AuditLog::AttachMetrics(obs::MetricsRegistry* reg) {
   std::lock_guard<std::mutex> l(mu_);
+  metrics_reg_ = reg;
   m_appends_ = reg->GetCounter("audit_appends_total");
   m_sealed_groups_ = reg->GetCounter("audit_sealed_groups_total");
   m_persisted_bytes_ = reg->GetCounter("audit_persisted_bytes_total");
@@ -579,25 +659,30 @@ void AuditLog::AttachMetrics(obs::MetricsRegistry* reg) {
 
 size_t AuditLog::unsealed_tail() const {
   std::lock_guard<std::mutex> l(mu_);
+  DrainStagedLocked();
   return pending_;
 }
 
 int64_t AuditLog::oldest_unsealed_micros() const {
   std::lock_guard<std::mutex> l(mu_);
+  DrainStagedLocked();
   if (pending_ == 0) return 0;
   return entries_[entries_.size() - pending_].timestamp_micros;
 }
 
 size_t AuditLog::size() const {
   std::lock_guard<std::mutex> l(mu_);
+  DrainStagedLocked();
   return entries_.size();
 }
 
 std::vector<AuditEntry> AuditLog::Query(int64_t from_micros,
                                         int64_t to_micros) const {
-  // No seal needed: the unsealed tail is already in entries_, and sealing
-  // here would make group boundaries depend on query timing.
+  // Drain (so staged appends are visible) but no seal: the unsealed tail
+  // lives in entries_, and sealing here would make group boundaries depend
+  // on query timing.
   std::lock_guard<std::mutex> l(mu_);
+  DrainStagedLocked();
   auto lo = std::lower_bound(entries_.begin(), entries_.end(), from_micros,
                              [](const AuditEntry& e, int64_t t) {
                                return e.timestamp_micros < t;
@@ -611,12 +696,14 @@ std::vector<AuditEntry> AuditLog::Query(int64_t from_micros,
 
 std::string AuditLog::head_hash() const {
   std::lock_guard<std::mutex> l(mu_);
+  DrainStagedLocked();
   SealPendingLocked();
   return head_;
 }
 
 bool AuditLog::VerifyChain() const {
   std::lock_guard<std::mutex> l(mu_);
+  DrainStagedLocked();
   SealPendingLocked();
   std::string h = anchor_;
   size_t at = 0;
@@ -630,11 +717,17 @@ bool AuditLog::VerifyChain() const {
 
 size_t AuditLog::ApproximateBytes() const {
   std::lock_guard<std::mutex> l(mu_);
+  DrainStagedLocked();
   return bytes_;
 }
 
 void AuditLog::Clear() {
   std::lock_guard<std::mutex> l(mu_);
+  for (Stage& st : stages_) {
+    std::lock_guard<std::mutex> sl(st.mu);
+    staged_.fetch_sub(st.entries.size(), std::memory_order_acq_rel);
+    st.entries.clear();
+  }
   entries_.clear();
   group_sizes_.clear();
   pending_ = 0;
@@ -647,42 +740,47 @@ void AuditLog::Clear() {
   // first (a crash mid-clear then leaves the old segment 1, i.e. simply an
   // unfinished clear, never a fenced-off mix).
   Env* env = opts_.env;
-  if (active_) {
-    active_->Close().ok();
-    active_.reset();
-  }
-  for (uint64_t seg = 2; seg <= active_seg_ || env->FileExists(SegmentPath(seg));
-       ++seg) {
-    env->DeleteFile(SegmentPath(seg)).ok();
-  }
-  ++epoch_;
-  active_seg_ = 1;
-  auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/true);
-  if (!f.ok()) {
-    io_status_ = f.status();
-    return;
-  }
-  active_ = std::move(f.value());
-  uint64_t hdr = 0;
-  Status s = WriteSegmentHeaderLocked(active_.get(), epoch_, anchor_, &hdr);
-  if (!s.ok()) {
-    io_status_ = s;
-    return;
-  }
-  active_bytes_ = hdr;
-  io_status_ = Status::OK();
+  pipeline_->WithQuiesced(target_, [&]() -> Status {
+    pipeline_->SetFile(target_, nullptr);
+    if (active_) {
+      active_->Close().ok();
+      active_.reset();
+    }
+    for (uint64_t seg = 2;
+         seg <= active_seg_ || env->FileExists(SegmentPath(seg)); ++seg) {
+      env->DeleteFile(SegmentPath(seg)).ok();
+    }
+    ++epoch_;
+    active_seg_ = 1;
+    auto f = env->NewWritableFile(SegmentPath(1), /*truncate=*/true);
+    if (!f.ok()) {
+      io_status_ = f.status();
+      return Status::OK();
+    }
+    active_ = std::move(f.value());
+    uint64_t hdr = 0;
+    Status s = WriteSegmentHeaderLocked(active_.get(), epoch_, anchor_, &hdr);
+    if (!s.ok()) {
+      io_status_ = s;
+      return Status::OK();
+    }
+    active_bytes_ = hdr;
+    io_status_ = Status::OK();
+    // Fresh backing, fresh target: SetFile clears any poison too.
+    pipeline_->SetFile(target_, active_.get());
+    return Status::OK();
+  }).ok();
 }
 
 size_t AuditLog::seal_interval() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return seal_interval_;
+  return seal_interval_.load(std::memory_order_relaxed);
 }
 
 void AuditLog::set_seal_interval(size_t k) {
-  // Under mu_: Append reads seal_interval_ under the lock, so an unlocked
-  // write here would race it (TSAN-visible).
+  // mu_ serializes against a concurrent drain's threshold check; the store
+  // itself is atomic so Append's off-mu_ read stays race-free.
   std::lock_guard<std::mutex> l(mu_);
-  seal_interval_ = k ? k : 1;
+  seal_interval_.store(k ? k : 1, std::memory_order_relaxed);
 }
 
 uint64_t AuditLog::segment_count() const {

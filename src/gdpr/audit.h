@@ -24,9 +24,18 @@
 // instead of genesis. Segment headers carry a compaction epoch: stale
 // segments left by a crash mid-compaction are fenced off and deleted on
 // the next open, exactly like the WAL's 'E' stamp.
+//
+// Writes scale two ways: appends stage into per-thread-shard buffers that
+// merge into the chain at seal time (concurrent appenders don't serialize
+// on the chain mutex), and sealed-group frames reach disk through the
+// group-commit pipeline (storage/commit_pipeline.h) — the GDPR stores pass
+// their engine's pipeline so one committer thread batches the data log and
+// the audit chain together.
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -37,6 +46,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "gdpr/actor.h"
+#include "storage/commit_pipeline.h"
 #include "storage/env.h"
 
 namespace gdpr {
@@ -65,6 +75,11 @@ struct AuditLogOptions {
   // Bounded retry for transient failures on background paths (segment
   // rotation, compaction temp). Hot-path group appends never retry.
   IoFailurePolicy io_policy;
+  // Group-commit pipeline the sealed-group frames flow through. nullptr =
+  // the log spins up a private pipeline on OpenDurable; the GDPR stores
+  // pass their engine's pipeline so one committer thread batches the AOF /
+  // WAL and the audit chain together.
+  CommitPipeline* pipeline = nullptr;
 };
 
 // What a retention/compaction pass did (merged into CompactionStats by the
@@ -163,20 +178,38 @@ class AuditLog {
 
   std::string SegmentPath(uint64_t n) const;
   void SealPendingLocked() const;
-  // Appends the just-sealed group's frame to the active segment and applies
-  // the sync policy; rotates when the segment passes rotate_bytes. Errors
-  // latch io_status_ and stop further persistence.
+  // Appends the just-sealed group's frame through the commit pipeline and
+  // rotates when the segment passes rotate_bytes. Errors latch io_status_
+  // and stop further persistence.
   void PersistGroupLocked(const std::string& payload, size_t n) const;
   void RotateLocked() const;
-  Status SyncWithPolicyLocked() const;
   Status WriteSegmentHeaderLocked(WritableFile* f, uint64_t epoch,
                                   const std::string& anchor,
                                   uint64_t* bytes) const;
   Status ReplayLocked();
 
-  size_t seal_interval_;
+  // --- per-shard append staging -------------------------------------------
+  // Append() pushes into one of kStages slot buffers picked by thread id,
+  // touching only that slot's mutex — concurrent appenders no longer
+  // serialize on mu_ for every entry. Staged entries merge into the chain
+  // (timestamp order, per-slot FIFO preserved, clamped monotone) the moment
+  // anything needs chain state: a seal, a query, a size probe. Lock order
+  // is mu_ -> stage mutex, never the reverse.
+  struct Stage {
+    std::mutex mu;
+    std::vector<AuditEntry> entries;
+  };
+  static constexpr size_t kStages = 8;
+  Stage& StageFor() const;
+  // Merges every staged entry into entries_ / pending_. Requires mu_.
+  void DrainStagedLocked() const;
+
+  // Read by Append() off-mu_; written under mu_ by set_seal_interval.
+  std::atomic<size_t> seal_interval_;
   mutable std::mutex mu_;
-  std::vector<AuditEntry> entries_;
+  // entries_/bytes_ are mutable because draining the stages — which any
+  // const chain reader triggers — materializes staged appends.
+  mutable std::vector<AuditEntry> entries_;
   // Chain structure: group_sizes_[i] entries went into hash step i. The
   // last pending_ entries of entries_ are not yet under any group. Sealing
   // mutates only the chain bookkeeping, never the entries, so const readers
@@ -184,7 +217,11 @@ class AuditLog {
   mutable std::vector<uint32_t> group_sizes_;
   mutable size_t pending_ = 0;
   mutable std::string head_;
-  size_t bytes_ = 0;
+  mutable size_t bytes_ = 0;
+
+  mutable std::array<Stage, kStages> stages_;
+  // Entries sitting in stage buffers, not yet merged into entries_.
+  mutable std::atomic<size_t> staged_{0};
 
   // Verification anchor: genesis, or the head recorded by the last
   // retention compaction ('A' frame of segment 1).
@@ -199,7 +236,6 @@ class AuditLog {
   mutable uint64_t active_seg_ = 1;
   uint64_t epoch_ = 0;
   mutable Status io_status_ = Status::OK();
-  mutable int64_t last_sync_micros_ = 0;
 
   // Nullable until AttachMetrics; raw pointers so const seal/persist paths
   // can count without touching registry state.
@@ -207,7 +243,19 @@ class AuditLog {
   obs::Counter* m_sealed_groups_ = nullptr;
   obs::Counter* m_persisted_bytes_ = nullptr;
   obs::Counter* m_persist_fail_ = nullptr;
+  obs::MetricsRegistry* metrics_reg_ = nullptr;
   uint64_t dropped_entries_total_ = 0;
+
+  // Group-commit plumbing: frames flow Commit() -> committer thread ->
+  // active_. The pipeline BORROWS active_; every handle swap (rotation,
+  // compaction, clear, close) happens inside WithQuiesced + SetFile.
+  // nullptr while not durable. A fresh target is attached per OpenDurable
+  // (stale ones stay detached in the pipeline, which is harmless).
+  CommitPipeline* pipeline_ = nullptr;
+  mutable CommitPipeline::Target* target_ = nullptr;
+  // Declared last: destroyed first, so the committer thread joins before
+  // active_ (which its target points at) goes away.
+  std::unique_ptr<CommitPipeline> owned_pipeline_;
 };
 
 }  // namespace gdpr

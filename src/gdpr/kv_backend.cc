@@ -17,6 +17,14 @@ KvGdprStore::KvGdprStore(const KvGdprOptions& options) : options_(options) {
   kvo.metrics = metrics_;
   InitOpMetrics(metrics_);
   audit_log_.AttachMetrics(metrics_);
+  // One committer thread serves the AOF and the audit chain: frames from
+  // both logs coalesce into shared write+fsync batches.
+  CommitPipeline::Options po;
+  po.max_batch_frames = kvo.commit_max_batch_frames;
+  po.metrics = metrics_;
+  po.clock = clock_;
+  pipeline_ = std::make_unique<CommitPipeline>(po);
+  kvo.pipeline = pipeline_.get();
   db_ = std::make_unique<kv::MemKV>(kvo);
 }
 
@@ -28,7 +36,7 @@ Status KvGdprStore::Open() {
   // Audit evidence is a durability responsibility like the data it
   // audits: replay + re-verify the chain before serving a single op.
   s = OpenDurableAudit(options_.audit, options_.kv.env,
-                       options_.kv.sync_policy);
+                       options_.kv.sync_policy, pipeline_.get());
   if (!s.ok()) return s;
   if (indexing() && db_->Size() > 0) {
     // AOF replay restored records below us; rebuild the secondary indexes

@@ -210,6 +210,12 @@ class KvGdprStore : public GdprStore {
   // this one stays empty.
   obs::MetricsRegistry registry_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // One group-commit pipeline (one committer thread) for every durability
+  // path under this store: the engine's AOF and the audit chain's segment
+  // frames batch together. Declared before db_ so the engine — which
+  // commits through it, including from its destructor's Close() — dies
+  // first; the base-class audit_log_ is detached in Close() before then.
+  std::unique_ptr<CommitPipeline> pipeline_;
   std::unique_ptr<kv::MemKV> db_;
 
   // Secondary indexes, readable with no lock at all: readers pin an epoch

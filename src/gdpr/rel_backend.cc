@@ -41,6 +41,13 @@ RelGdprStore::RelGdprStore(const RelGdprOptions& options) : options_(options) {
   ro.metrics = metrics_;
   InitOpMetrics(metrics_);
   audit_log_.AttachMetrics(metrics_);
+  // One committer thread serves the WAL, the statement log, and the audit
+  // chain: frames from all three batch into shared write+fsync calls.
+  CommitPipeline::Options po;
+  po.metrics = metrics_;
+  po.clock = clock_;
+  pipeline_ = std::make_unique<CommitPipeline>(po);
+  ro.pipeline = pipeline_.get();
   db_ = std::make_unique<rel::Database>(ro);
 }
 
@@ -50,7 +57,7 @@ Status RelGdprStore::Open() {
   Status s = db_->Open();
   if (!s.ok()) return s;
   s = OpenDurableAudit(options_.audit, options_.rel.env,
-                       options_.rel.sync_policy);
+                       options_.rel.sync_policy, pipeline_.get());
   if (!s.ok()) return s;
   using rel::Schema;
   using rel::ValueType;

@@ -137,6 +137,10 @@ class RelGdprStore : public GdprStore {
   // engine); a caller-supplied options_.rel.metrics wins over this one.
   obs::MetricsRegistry registry_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // One group-commit pipeline for the WAL, the statement log, and the
+  // audit chain; declared before db_ so the engine (which commits through
+  // it, including from its destructor's Close()) dies first.
+  std::unique_ptr<CommitPipeline> pipeline_;
   std::unique_ptr<rel::Database> db_;
   rel::Table* records_ = nullptr;
   rel::Table* purpose_idx_ = nullptr;

@@ -44,6 +44,18 @@ MemKV::MemKV(const Options& options) : options_(options) {
     aead_ = std::make_unique<Aead>(options_.encryption_key);
   }
   InitMetrics();
+  if (options_.pipeline) {
+    pipeline_ = options_.pipeline;
+  } else {
+    CommitPipeline::Options po;
+    po.max_batch_frames = options_.commit_max_batch_frames;
+    po.metrics = metrics_;
+    po.clock = clock_;
+    owned_pipeline_ = std::make_unique<CommitPipeline>(po);
+    pipeline_ = owned_pipeline_.get();
+  }
+  aof_target_ = pipeline_->Attach("kv-aof", nullptr, options_.sync_policy,
+                                  &health_, m_aof_syncs_, m_aof_sync_fail_);
 }
 
 void MemKV::InitMetrics() {
@@ -139,8 +151,14 @@ Status MemKV::Open() {
     auto file = env_->NewWritableFile(options_.aof_path, /*truncate=*/false);
     if (!file.ok()) return file.status();
     aof_ = std::move(file.value());
+    pipeline_
+        ->WithQuiesced(aof_target_,
+                       [&] {
+                         pipeline_->SetFile(aof_target_, aof_.get());
+                         return Status::OK();
+                       })
+        .ok();
     aof_active_.store(true, std::memory_order_release);
-    last_sync_micros_ = RealClock::Default()->NowMicros();
   }
   open_.store(true);
   return Status::OK();
@@ -154,12 +172,19 @@ Status MemKV::Close() {
   // dead nodes in the global lists.
   EpochManager::Global().DrainRetired();
   aof_active_.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> l(aof_mu_);
+  // compact_mu_ keeps a racing CompactAof from swapping the handle while
+  // we detach and close it.
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
   if (aof_) {
-    aof_->Flush().ok();
-    Status s = aof_->Close();
-    aof_.reset();
-    return s;
+    // Quiesce: every queued frame is written (and synced per policy)
+    // before the target detaches — an acked write never dies in the ring.
+    return pipeline_->WithQuiesced(aof_target_, [&] {
+      pipeline_->SetFile(aof_target_, nullptr);
+      aof_->Flush().ok();
+      Status s = aof_->Close();
+      aof_.reset();
+      return s;
+    });
   }
   return Status::OK();
 }
@@ -243,8 +268,10 @@ Status MemKV::SetInternal(const std::string& key, const std::string& value,
     s.bytes += new_value_size;
     if (expiry_abs != 0) RegisterTtlLocked(s, key, expiry_abs);
     // Log under the shard lock: AOF order must match apply order for
-    // same-key races, or replay restores the overwritten value. Lock order
-    // is always shard.mu -> aof_mu_.
+    // same-key races, or replay restores the overwritten value. The
+    // commit blocks here (the committer thread needs no shard locks), so
+    // "AofAppend returned OK" still means the frame is on disk per the
+    // sync policy, exactly as before the pipeline.
     if (log) {
       Status append = AofAppend('S', key, aof_copy, expiry_abs);
       if (!append.ok()) {
@@ -440,7 +467,12 @@ size_t MemKV::RunStrictCycle(int64_t now) {
       ++erased;
     }
   }
-  AofMaybeSync();
+  // Everysec fsync rides the cycle, but runs on the committer thread — the
+  // old AofMaybeSync held the log mutex across Sync(), stalling read-log
+  // and tombstone appends for the fsync's full duration.
+  if (aof_active_.load(std::memory_order_acquire)) {
+    pipeline_->RequestSync(aof_target_);
+  }
   return erased;
 }
 
@@ -471,7 +503,9 @@ size_t MemKV::RunLazyCycle(int64_t now) {
     erased_total += erased;
     if (sampled == 0 || erased * 4 <= sampled) break;  // < 25% expired
   }
-  AofMaybeSync();
+  if (aof_active_.load(std::memory_order_acquire)) {
+    pipeline_->RequestSync(aof_target_);
+  }
   return erased_total;
 }
 
@@ -594,97 +628,51 @@ Status MemKV::AofAppend(char op, const std::string& key,
                         const std::string& value, int64_t expiry) {
   std::string rec;
   EncodeAofRecord(&rec, op, key, value, expiry);
-  std::lock_guard<std::mutex> l(aof_mu_);
-  return AofAppendLocked(rec);
+  // Ring = key hash: every frame for one key lands on one ring, and rings
+  // drain FIFO, so replay order matches apply order per key even though
+  // different keys' frames may interleave differently than their callers.
+  return AofCommit(std::move(rec), HashKey(key));
 }
 
-Status MemKV::AofAppendLocked(const std::string& rec) {
-  if (!aof_) return Status::OK();
-  // Mirror into the rewrite buffer so a mutation racing a CompactAof
-  // snapshot is not lost from the new log (replay is last-write-wins, so
-  // double-capture — snapshot AND buffer — is harmless).
-  if (rewrite_active_) rewrite_buf_.append(rec);
-  Status s = aof_->Append(rec);
+Status MemKV::AofCommit(std::string rec, uint64_t ring_hint,
+                        const std::function<Status()>& gate) {
+  const size_t n = rec.size();
+  Status s = pipeline_->Commit(aof_target_, std::move(rec), ring_hint, gate);
   if (!s.ok()) {
-    // The frame may be partially on disk (torn): appending more would
-    // strand every later record behind garbage. Degrade; a successful
-    // CompactAof — which rewrites the whole log from memory — heals.
-    m_aof_append_fail_->Add(1);
-    health_.Degrade(s);
+    // A gate rejection (NotFound on a tombstoned read) is an ordering
+    // verdict, not an I/O failure; everything else is. The pipeline has
+    // already poisoned the target and degraded health_ — a failed batch
+    // may be partially on disk (torn), and only a CompactAof rewrite from
+    // authoritative memory heals.
+    if (!s.IsNotFound()) m_aof_append_fail_->Add(1);
     return s;
   }
   m_aof_appends_->Add(1);
-  m_aof_append_bytes_->Add(rec.size());
-  m_aof_log_bytes_->Add(static_cast<int64_t>(rec.size()));
-  if (options_.sync_policy == SyncPolicy::kAlways) {
-    s = aof_->Sync();
-    // fsyncgate: a failed fsync may have dropped the dirty pages while
-    // marking them clean — no retry can prove the acked tail is durable.
-    if (s.ok()) {
-      m_aof_syncs_->Add(1);
-    } else {
-      m_aof_sync_fail_->Add(1);
-      health_.Degrade(s);
-    }
-    return s;
-  }
-  if (options_.sync_policy == SyncPolicy::kEverySec) {
-    const int64_t now = RealClock::Default()->NowMicros();
-    if (now - last_sync_micros_ >= 1000000) {
-      last_sync_micros_ = now;
-      s = aof_->Sync();
-      if (s.ok()) {
-        m_aof_syncs_->Add(1);
-      } else {
-        m_aof_sync_fail_->Add(1);
-        health_.Degrade(s);
-      }
-      return s;
-    }
-  }
-  return Status::OK();
+  m_aof_append_bytes_->Add(n);
+  m_aof_log_bytes_->Add(static_cast<int64_t>(n));
+  return s;
 }
 
 Status MemKV::AppendReadLog(const std::string& key) {
   std::string rec;
   EncodeAofRecord(&rec, 'R', key, "", 0);
-  std::lock_guard<std::mutex> l(aof_mu_);
-  {
-    // Ordering contract with erasure evidence ('T' frames): the tombstone
-    // set mutation happens-before its 'T' append, and this check + the 'R'
-    // append happen atomically under aof_mu_. So either this Get observes
-    // no tombstone — then the racing AddTombstone has not yet appended its
-    // 'T', which must wait for aof_mu_, and the 'R' lands strictly before
-    // it — or the tombstone is visible and the read linearizes after the
-    // erasure: no value, no frame. The lock-free read path made this race
-    // wider (the value is captured with no lock held), so the evidence
-    // ordering is enforced here, at the log, rather than at the shard.
+  // Ordering contract with erasure evidence ('T' frames): the gate runs
+  // under the ring mutex at enqueue time, and 'R' and 'T' frames for one
+  // key share a ring (both hash the key). So either this gate observes no
+  // tombstone — then the racing AddTombstone has not yet enqueued its 'T',
+  // which must queue behind this 'R' on the same FIFO ring, and the 'R'
+  // lands strictly before it in the log — or the tombstone is visible and
+  // the read linearizes after the erasure: no value, no frame. The
+  // lock-free read path made this race wide (the value is captured with
+  // no lock held), so the evidence ordering is enforced here, at the log's
+  // enqueue point, rather than at the shard.
+  return AofCommit(std::move(rec), HashKey(key), [this, &key]() -> Status {
     std::lock_guard<std::mutex> tl(tomb_mu_);
     if (tombstones_.count(key) != 0) {
       return Status::NotFound(key + " (erased)");
     }
-  }
-  return AofAppendLocked(rec);
-}
-
-void MemKV::AofMaybeSync() {
-  std::lock_guard<std::mutex> l(aof_mu_);
-  if (!aof_ || options_.sync_policy != SyncPolicy::kEverySec) return;
-  if (!health_.writable()) return;
-  const int64_t now = RealClock::Default()->NowMicros();
-  if (now - last_sync_micros_ >= 1000000) {
-    last_sync_micros_ = now;
-    Status s = aof_->Sync();
-    // The cron is the only fsync an everysec store may get for seconds of
-    // acked writes — swallowing its failure here would silently un-ack
-    // them on the next crash.
-    if (s.ok()) {
-      m_aof_syncs_->Add(1);
-    } else {
-      m_aof_sync_fail_->Add(1);
-      health_.Degrade(s);
-    }
-  }
+    return Status::OK();
+  });
 }
 
 Status MemKV::AofReplay(const std::string& contents, size_t* valid_prefix) {
@@ -792,23 +780,42 @@ Status MemKV::CompactAof() {
   if (!options_.aof_enabled) return Status::OK();  // nothing on disk to shrink
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
   const uint64_t bytes_before = AofLogBytes();
-  // Phase 1: arm the mirror buffer — from here on every AofAppend is
-  // captured for the new log as well as the old one. A degraded store may
-  // have no live handle (failed re-establishment); the rewrite proceeds
-  // anyway — memory is authoritative and a successful pass heals it.
-  {
-    std::lock_guard<std::mutex> l(aof_mu_);
-    if (!open_.load(std::memory_order_acquire)) {
-      return Status::FailedPrecondition("store not open");
-    }
-    rewrite_active_ = true;
-    rewrite_buf_.clear();
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("store not open");
   }
+  // Phase 1: arm the pipeline tee — from here on every committed batch is
+  // mirrored into rewrite_buf_ for the new log as well as the old one.
+  // The tee fires only after a batch fully succeeded, so a failed append
+  // whose memory effect was rolled back cannot resurrect via the mirror.
+  // A degraded store may have no live handle (failed re-establishment);
+  // the rewrite proceeds anyway — memory is authoritative and a
+  // successful pass heals it.
+  pipeline_
+      ->WithQuiesced(aof_target_,
+                     [&] {
+                       {
+                         std::lock_guard<std::mutex> rl(rewrite_mu_);
+                         rewrite_buf_.clear();
+                       }
+                       pipeline_->SetTee(
+                           aof_target_, [this](std::string_view batch) {
+                             std::lock_guard<std::mutex> rl(rewrite_mu_);
+                             rewrite_buf_.append(batch);
+                           });
+                       return Status::OK();
+                     })
+      .ok();
   aof_rewrite_starts_.fetch_add(1);
   auto abort_rewrite = [this](const std::string& tmp_path) {
-    std::lock_guard<std::mutex> l(aof_mu_);
-    rewrite_active_ = false;
-    rewrite_buf_.clear();
+    pipeline_
+        ->WithQuiesced(aof_target_,
+                       [&] {
+                         pipeline_->SetTee(aof_target_, nullptr);
+                         std::lock_guard<std::mutex> rl(rewrite_mu_);
+                         rewrite_buf_.clear();
+                         return Status::OK();
+                       })
+        .ok();
     (void)env_->DeleteFile(tmp_path).ok();
   };
   // Phase 2: snapshot live state into the temp file, one shard lock at a
@@ -861,26 +868,31 @@ Status MemKV::CompactAof() {
     abort_rewrite(tmp_path);
     return st;
   }
-  // Phase 3: drain the mirror buffer, emit the tombstone snapshot, fsync
-  // the tail, and atomically swap the logs. Writers block on aof_mu_ only
-  // for this window — the p99 cost bench_compaction measures. A crash
-  // before RenameFile leaves the old AOF authoritative; after it, the new
-  // one. Never a mix.
+  // Phase 3: quiesce the pipeline (queued frames drain to the old log and
+  // into the mirror, new commits park at the pipeline gate), drain the
+  // mirror buffer, emit the tombstone snapshot, fsync the tail, and
+  // atomically swap the logs. Writers stall only for this window — the
+  // p99 cost bench_compaction measures. A crash before RenameFile leaves
+  // the old AOF authoritative; after it, the new one. Never a mix.
   //
   // The tombstone snapshot comes AFTER the mirror drain, not in phase 2:
-  // a Get mirrored an 'R' frame only while its key was un-tombstoned
-  // (AppendReadLog checks under this same mutex), so every mirrored 'R'
-  // precedes its key's tombstone registration — emitting the 'T' snapshot
-  // behind the mirror keeps the rewritten log honoring the same
-  // no-R-after-T evidence ordering the live log guarantees. Tombstones
-  // outlive the records they evidence: the erased data's frames are gone
-  // from the new log, the proof of erasure is not. Lock order here is
-  // aof_mu_ -> tomb_mu_, same as AppendReadLog.
-  {
-    std::lock_guard<std::mutex> l(aof_mu_);
-    if (!rewrite_buf_.empty()) {
-      st = out->Append(rewrite_buf_);
-      tmp_bytes += rewrite_buf_.size();
+  // a Get's 'R' frame enqueued only while its key was un-tombstoned (the
+  // AppendReadLog gate), rings are FIFO per key, and the tee preserves
+  // commit order — so every mirrored 'R' precedes its key's tombstone
+  // registration, and emitting the 'T' snapshot behind the mirror keeps
+  // the rewritten log honoring the same no-R-after-T evidence ordering
+  // the live log guarantees. Tombstones outlive the records they
+  // evidence: the erased data's frames are gone from the new log, the
+  // proof of erasure is not.
+  Status swap = pipeline_->WithQuiesced(aof_target_, [&]() -> Status {
+    pipeline_->SetTee(aof_target_, nullptr);
+    {
+      std::lock_guard<std::mutex> rl(rewrite_mu_);
+      if (!rewrite_buf_.empty()) {
+        st = out->Append(rewrite_buf_);
+        tmp_bytes += rewrite_buf_.size();
+      }
+      rewrite_buf_.clear();
     }
     if (st.ok()) {
       buf.clear();
@@ -907,8 +919,6 @@ Status MemKV::CompactAof() {
     if (st.ok()) st = out->Sync();
     if (st.ok()) st = out->Close();
     if (!st.ok()) {
-      rewrite_active_ = false;
-      rewrite_buf_.clear();
       (void)env_->DeleteFile(tmp_path).ok();
       return st;
     }
@@ -919,6 +929,7 @@ Status MemKV::CompactAof() {
       (void)aof_->Close().ok();
       aof_.reset();
     }
+    pipeline_->SetFile(aof_target_, nullptr);
     st = RetryIo(options_.io_policy,
                  [&] { return env_->RenameFile(tmp_path, options_.aof_path); });
     if (st.ok()) {
@@ -930,8 +941,6 @@ Status MemKV::CompactAof() {
         return Status::OK();
       });
     }
-    rewrite_active_ = false;
-    rewrite_buf_.clear();
     if (!st.ok()) {
       // Memory state is intact but the log handle is gone. Degrade to
       // read-only instead of accepting writes that would silently vanish
@@ -940,13 +949,15 @@ Status MemKV::CompactAof() {
       health_.Degrade(st);
       return st;
     }
+    // Re-establishing the file clears the pipeline's poison latch: the
+    // whole log was just rebuilt from authoritative memory and fsynced.
+    pipeline_->SetFile(aof_target_, aof_.get());
     m_aof_log_bytes_->Set(static_cast<int64_t>(tmp_bytes));
-    // The whole log was just rebuilt from authoritative memory and
-    // fsynced: whatever durability failure degraded the store is behind
-    // us. Writes may resume.
     aof_active_.store(true, std::memory_order_release);
     health_.Heal();
-  }
+    return Status::OK();
+  });
+  if (!swap.ok()) return swap;
   m_aof_rewrites_->Add(1);
   last_rewrite_before_.store(bytes_before);
   last_rewrite_after_.store(tmp_bytes);

@@ -40,6 +40,7 @@
 #include "crypto/aead.h"
 #include "kvstore/epoch_map.h"
 #include "obs/metrics.h"
+#include "storage/commit_pipeline.h"
 #include "storage/env.h"
 
 namespace gdpr::kv {
@@ -88,6 +89,17 @@ struct Options {
   // Snapshot covers every layer). nullptr => the store owns a private one,
   // reachable via metrics_registry().
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Shared group-commit pipeline (the GDPR layer passes one so the KV
+  // engine and the audit chain ride the same committer thread). nullptr =>
+  // the store owns a private pipeline. See storage/commit_pipeline.h for
+  // the ack/ordering contract.
+  CommitPipeline* pipeline = nullptr;
+  // Max frames coalesced per write()+fsync when the store owns its
+  // pipeline (ignored when `pipeline` is supplied). 0 = unbounded group
+  // commit; 1 = one batch per record, the per-write baseline
+  // bench_put_scale compares against.
+  size_t commit_max_batch_frames = 0;
 };
 
 // Observability for the AOF rewrite path (surfaced through the GDPR layer
@@ -263,16 +275,21 @@ class MemKV {
 
   Status AofAppend(char op, const std::string& key, const std::string& value,
                    int64_t expiry);
-  Status AofAppendLocked(const std::string& rec);  // caller holds aof_mu_
-  // Read-log append for Get, sequenced against erasure tombstones: under
-  // aof_mu_, a tombstoned key yields NotFound (and no 'R' frame) so the log
-  // can never show a read *after* the erasure that it actually preceded.
+  // Group-commits one encoded frame through the pipeline (ring selected by
+  // `ring_hint`, normally the key hash so per-key frames stay FIFO) and
+  // maintains the append metrics. `gate` runs under the ring mutex before
+  // the frame is enqueued — see AppendReadLog.
+  Status AofCommit(std::string rec, uint64_t ring_hint,
+                   const std::function<Status()>& gate = nullptr);
+  // Read-log append for Get, sequenced against erasure tombstones: the
+  // enqueue gate re-checks the tombstone registry, so a tombstoned key
+  // yields NotFound (and no 'R' frame) and the log can never show a read
+  // *after* the erasure that it actually preceded.
   Status AppendReadLog(const std::string& key);
   // Applies frames up to the first unparseable point; *valid_prefix gets
   // the byte offset of that point (== contents.size() when the log is
   // whole). Returns non-OK only for damage replay cannot skip.
   Status AofReplay(const std::string& contents, size_t* valid_prefix);
-  void AofMaybeSync();
   static void EncodeAofRecord(std::string* dst, char op, const std::string& key,
                               const std::string& value, int64_t expiry);
 
@@ -305,23 +322,34 @@ class MemKV {
   obs::Gauge* m_aof_log_bytes_ = nullptr;   // memkv_aof_log_bytes (AofStats view)
   obs::Gauge* m_tombstones_ = nullptr;
 
-  std::mutex aof_mu_;
+  // All AOF appends flow through the group-commit pipeline: callers
+  // enqueue framed records (Commit blocks until durability is decided per
+  // sync policy) and the committer thread batches them into single
+  // write()+fsync calls. The file handle itself is swapped only under
+  // pipeline quiesce (Open, Close, CompactAof phase 3).
   std::unique_ptr<WritableFile> aof_;
-  // Checked on hot paths without taking aof_mu_; AofAppend re-validates
-  // the pointer under the lock.
+  CommitPipeline* pipeline_ = nullptr;
+  CommitPipeline::Target* aof_target_ = nullptr;
+  // Declared after aof_ so the committer thread is joined (and can no
+  // longer touch the handle) before the handle is destroyed.
+  std::unique_ptr<CommitPipeline> owned_pipeline_;
+  // Checked on hot paths; the pipeline acks detached targets as OK so the
+  // flag is advisory, not a correctness gate.
   std::atomic<bool> aof_active_{false};
   // Degraded when the AOF can no longer be trusted to persist acked
   // writes; mutations gate on it, reads do not.
   HealthTracker health_;
   AofReplayStats aof_replay_stats_;
-  int64_t last_sync_micros_ = 0;
 
-  // Rewrite-in-progress state: while a CompactAof snapshot runs, AofAppend
-  // mirrors every record into rewrite_buf_ (under aof_mu_) so writes that
-  // race the snapshot land in the new log too.
+  // Rewrite-in-progress state: while a CompactAof snapshot runs, a
+  // pipeline tee mirrors every committed batch into rewrite_buf_ so writes
+  // that race the snapshot land in the new log too. The tee observes only
+  // batches that fully succeeded, so a failed (rolled-back) append can
+  // never resurrect through the mirror.
   std::mutex compact_mu_;  // one rewrite at a time
-  bool rewrite_active_ = false;  // guarded by aof_mu_
-  std::string rewrite_buf_;      // guarded by aof_mu_
+  std::mutex rewrite_mu_;  // guards rewrite_buf_ (the tee runs on the
+                           // committer thread)
+  std::string rewrite_buf_;
   std::atomic<uint64_t> aof_rewrite_starts_{0};
   std::atomic<uint64_t> last_rewrite_before_{0};
   std::atomic<uint64_t> last_rewrite_after_{0};

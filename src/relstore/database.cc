@@ -14,6 +14,19 @@ Database::Database(const RelOptions& options) : options_(options) {
     aead_ = std::make_unique<Aead>(options_.encryption_key);
   }
   InitMetrics();
+  if (options_.pipeline) {
+    pipeline_ = options_.pipeline;
+  } else {
+    CommitPipeline::Options po;
+    po.metrics = metrics_;
+    po.clock = clock_;
+    owned_pipeline_ = std::make_unique<CommitPipeline>(po);
+    pipeline_ = owned_pipeline_.get();
+  }
+  wal_target_ = pipeline_->Attach("rel-wal", nullptr, options_.sync_policy,
+                                  &wal_health_);
+  stmt_target_ = pipeline_->Attach("rel-stmt", nullptr, options_.sync_policy,
+                                   &stmt_health_);
 }
 
 void Database::InitMetrics() {
@@ -197,6 +210,13 @@ Status Database::Open() {
       }
       wal_ = std::move(f.value());
     }
+    pipeline_
+        ->WithQuiesced(wal_target_,
+                       [&] {
+                         pipeline_->SetFile(wal_target_, wal_.get());
+                         return Status::OK();
+                       })
+        .ok();
   }
   if (options_.log_statements) {
     if (options_.statement_log_path.empty()) {
@@ -218,10 +238,15 @@ Status Database::Open() {
       if (existing.ok()) stmt_bytes_ = existing.value();
     }
     m_stmt_log_bytes_->Set(static_cast<int64_t>(stmt_bytes_));
+    pipeline_
+        ->WithQuiesced(stmt_target_,
+                       [&] {
+                         pipeline_->SetFile(stmt_target_, stmt_log_.get());
+                         return Status::OK();
+                       })
+        .ok();
     stmt_active_.store(true, std::memory_order_release);
   }
-  const int64_t now = RealClock::Default()->NowMicros();
-  wal_last_sync_ = stmt_last_sync_ = now;
   open_ = true;
   return Status::OK();
 }
@@ -235,22 +260,35 @@ Status Database::Close() {
   auto record = [&out](Status s) {
     if (out.ok() && !s.ok()) out = s;
   };
-  {
-    std::lock_guard<std::mutex> l(wal_mu_);
+  // checkpoint_mu_ keeps a racing Checkpoint() from swapping the WAL
+  // handle while we detach and close it. Quiescing drains every queued
+  // frame (written + synced per policy) before the targets detach.
+  std::lock_guard<std::mutex> ck(checkpoint_mu_);
+  record(pipeline_->WithQuiesced(wal_target_, [&] {
+    pipeline_->SetFile(wal_target_, nullptr);
+    Status s = Status::OK();
     if (wal_) {
-      record(wal_->Flush());
-      record(wal_->Close());
+      s = wal_->Flush();
+      Status cs = wal_->Close();
+      if (s.ok()) s = cs;
       wal_.reset();
     }
-  }
+    return s;
+  }));
   stmt_active_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> l(stmt_mu_);
-    if (stmt_log_) {
-      record(stmt_log_->Flush());
-      record(stmt_log_->Close());
-      stmt_log_.reset();
-    }
+    record(pipeline_->WithQuiesced(stmt_target_, [&] {
+      pipeline_->SetFile(stmt_target_, nullptr);
+      Status s = Status::OK();
+      if (stmt_log_) {
+        s = stmt_log_->Flush();
+        Status cs = stmt_log_->Close();
+        if (s.ok()) s = cs;
+        stmt_log_.reset();
+      }
+      return s;
+    }));
   }
   return out;
 }
@@ -782,21 +820,6 @@ size_t Database::ApproximateBytes() const {
   return total;
 }
 
-Status Database::AppendWithPolicy(WritableFile* f, const std::string& text,
-                                  int64_t* last_sync) {
-  Status s = f->Append(text);
-  if (!s.ok()) return s;
-  if (options_.sync_policy == SyncPolicy::kAlways) return f->Sync();
-  if (options_.sync_policy == SyncPolicy::kEverySec) {
-    const int64_t now = RealClock::Default()->NowMicros();
-    if (now - *last_sync >= 1000000) {
-      *last_sync = now;
-      return f->Sync();
-    }
-  }
-  return Status::OK();
-}
-
 Status Database::WalHealthy() {
   // Mutations need both durability paths: a broken WAL could lose the
   // write itself, a broken statement log its processing evidence.
@@ -806,21 +829,23 @@ Status Database::WalHealthy() {
 }
 
 Status Database::WalAppend(const std::string& text) {
-  std::lock_guard<std::mutex> l(wal_mu_);
   Status gate = wal_health_.WriteGate("reldb-wal");
   if (!gate.ok()) return gate;
-  if (!wal_) return Status::OK();
-  Status s = AppendWithPolicy(wal_.get(), text, &wal_last_sync_);
+  // Ring 0 for every frame: WAL appends happen under their table's
+  // exclusive lock, so one FIFO ring keeps log order identical to apply
+  // order. The commit blocks until the batch is written (and fsynced
+  // under kAlways), so the ack contract is unchanged.
+  Status s = pipeline_->Commit(wal_target_, text, /*ring_hint=*/0);
   if (s.ok()) {
     m_wal_appends_->Add(1);
     m_wal_append_bytes_->Add(text.size());
     m_wal_log_bytes_->Add(static_cast<int64_t>(text.size()));
   } else {
     // Torn append or failed fsync: the tail is suspect and the acked
-    // prefix may not be durable. No retry (fsyncgate) — only the next
+    // prefix may not be durable. The pipeline has poisoned the target and
+    // degraded wal_health_; no retry (fsyncgate) — only the next
     // successful Checkpoint(), a full rewrite from memory, heals.
     m_wal_failures_->Add(1);
-    wal_health_.Degrade(s);
   }
   return s;
 }
@@ -908,8 +933,11 @@ Status Database::Checkpoint() {
     return s;
   }
   const uint64_t wal_before = WalBytes();
-  {
-    std::lock_guard<std::mutex> wl(wal_mu_);
+  // Quiesce the pipeline for the swap. Every table lock is held shared, so
+  // no mutator is mid-commit; the quiesce drains whatever the committer
+  // had in flight and parks new commits until the stamped WAL is in.
+  Status ws = pipeline_->WithQuiesced(wal_target_, [&]() -> Status {
+    pipeline_->SetFile(wal_target_, nullptr);
     if (wal_) {
       wal_->Flush().ok();
       wal_->Close().ok();
@@ -942,11 +970,15 @@ Status Database::Checkpoint() {
       wal_health_.Degrade(s);
       return s;
     }
+    // Re-attaching clears the pipeline's poison latch: a freshly stamped
+    // WAL next to a snapshot of all of memory is exactly the full rewrite
+    // a previously degraded WAL was waiting for.
+    pipeline_->SetFile(wal_target_, wal_.get());
     m_wal_log_bytes_->Set(static_cast<int64_t>(frame.size()));
-    // A freshly stamped WAL next to a snapshot of all of memory is exactly
-    // the full rewrite a previously degraded WAL was waiting for.
     wal_health_.Heal();
-  }
+    return Status::OK();
+  });
+  if (!ws.ok()) return ws;
   epoch_ = next_epoch;
   m_checkpoints_->Add(1);
   last_ckpt_wal_before_.store(wal_before);
@@ -971,19 +1003,20 @@ Status Database::LogStatement(const std::string& text) {
   // The unlocked gate reads the atomic flag, never the pointer: Close()
   // resets stmt_log_ under stmt_mu_, and a raw pointer check here raced it.
   if (!stmt_logging()) return Status::OK();
-  std::lock_guard<std::mutex> l(stmt_mu_);
   // Degraded statement logging suspends silently for reads: mutations are
   // already refused at WalHealthy(), and failing every SELECT would turn
   // one bad disk into a full outage. Health() reports the suspension.
   if (!stmt_health_.writable()) return Status::OK();
-  if (!stmt_log_) return Status::OK();
-  Status s = AppendWithPolicy(stmt_log_.get(), text + "\n", &stmt_last_sync_);
+  // The commit happens OUTSIDE stmt_mu_ — the group fsync must never run
+  // under a mutex the read paths contend on. Rotation bookkeeping below
+  // retakes the lock.
+  Status s = pipeline_->Commit(stmt_target_, text + "\n", /*ring_hint=*/0);
   if (!s.ok()) {
-    // The discovering statement sees the error once, loudly; later ones
-    // serve unlogged under the degraded latch above.
-    stmt_health_.Degrade(s);
+    // The discovering statement sees the error once, loudly (the pipeline
+    // degraded stmt_health_); later ones serve unlogged under the latch.
     return s;
   }
+  std::lock_guard<std::mutex> l(stmt_mu_);
   stmt_bytes_ += text.size() + 1;
   m_stmt_statements_->Add(1);
   m_stmt_bytes_total_->Add(text.size() + 1);
@@ -996,44 +1029,51 @@ Status Database::LogStatement(const std::string& text) {
 }
 
 Status Database::RotateStatementLogLocked() {
-  Status s = stmt_log_->Flush();
-  if (s.ok()) s = stmt_log_->Close();
-  stmt_log_.reset();
-  const std::string& base = options_.statement_log_path;
-  const size_t max = std::max<size_t>(options_.stmt_log_max_segments, 1);
-  if (s.ok()) {
-    // Shift the retained window up; the oldest segment falls off the end.
-    env_->DeleteFile(base + "." + std::to_string(max)).ok();
-    for (size_t i = max; i-- > 1;) {
-      const std::string from = base + "." + std::to_string(i);
-      if (env_->FileExists(from)) {
-        s = env_->RenameFile(from, base + "." + std::to_string(i + 1));
-        if (!s.ok()) break;
+  // Quiesce the pipeline for the handle swap: queued statement frames
+  // drain into the old segment (they logically precede the rotation),
+  // racing commits park at the pipeline gate until the fresh log is in.
+  return pipeline_->WithQuiesced(stmt_target_, [&]() -> Status {
+    pipeline_->SetFile(stmt_target_, nullptr);
+    Status s = stmt_log_->Flush();
+    if (s.ok()) s = stmt_log_->Close();
+    stmt_log_.reset();
+    const std::string& base = options_.statement_log_path;
+    const size_t max = std::max<size_t>(options_.stmt_log_max_segments, 1);
+    if (s.ok()) {
+      // Shift the retained window up; the oldest segment falls off the end.
+      env_->DeleteFile(base + "." + std::to_string(max)).ok();
+      for (size_t i = max; i-- > 1;) {
+        const std::string from = base + "." + std::to_string(i);
+        if (env_->FileExists(from)) {
+          s = env_->RenameFile(from, base + "." + std::to_string(i + 1));
+          if (!s.ok()) break;
+        }
       }
     }
-  }
-  if (s.ok()) s = env_->RenameFile(base, base + ".1");
-  if (s.ok()) {
-    // Background path: bounded retry on transient failure — re-creating
-    // the truncated fresh log is idempotent.
-    s = RetryIo(options_.io_policy, [&] {
-      auto f = env_->NewWritableFile(base, /*truncate=*/true);
-      if (!f.ok()) return f.status();
-      stmt_log_ = std::move(f.value());
-      return Status::OK();
-    });
+    if (s.ok()) s = env_->RenameFile(base, base + ".1");
     if (s.ok()) {
-      stmt_bytes_ = 0;
-      m_stmt_log_bytes_->Set(0);
+      // Background path: bounded retry on transient failure — re-creating
+      // the truncated fresh log is idempotent.
+      s = RetryIo(options_.io_policy, [&] {
+        auto f = env_->NewWritableFile(base, /*truncate=*/true);
+        if (!f.ok()) return f.status();
+        stmt_log_ = std::move(f.value());
+        return Status::OK();
+      });
+      if (s.ok()) {
+        pipeline_->SetFile(stmt_target_, stmt_log_.get());
+        stmt_bytes_ = 0;
+        m_stmt_log_bytes_->Set(0);
+      }
     }
-  }
-  if (!s.ok()) {
-    // Statements from here would vanish silently; degrade instead —
-    // mutations refuse (their evidence would be incomplete), reads serve
-    // unlogged, and only a reopen heals.
-    stmt_health_.Degrade(s);
-  }
-  return s;
+    if (!s.ok()) {
+      // Statements from here would vanish silently; degrade instead —
+      // mutations refuse (their evidence would be incomplete), reads serve
+      // unlogged, and only a reopen heals.
+      stmt_health_.Degrade(s);
+    }
+    return s;
+  });
 }
 
 }  // namespace gdpr::rel

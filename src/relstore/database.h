@@ -46,6 +46,7 @@
 #include "obs/metrics.h"
 #include "relstore/bptree.h"
 #include "relstore/value.h"
+#include "storage/commit_pipeline.h"
 #include "storage/env.h"
 
 namespace gdpr::rel {
@@ -80,6 +81,12 @@ struct RelOptions {
   // Snapshot covers every layer). nullptr => the database owns a private
   // one, reachable via metrics_registry().
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Shared group-commit pipeline (the GDPR layer passes one so the WAL,
+  // the statement log, and the audit chain ride a single committer
+  // thread). nullptr => the database owns a private pipeline. See
+  // storage/commit_pipeline.h for the ack/ordering contract.
+  CommitPipeline* pipeline = nullptr;
 };
 
 struct ColumnSpec {
@@ -275,8 +282,9 @@ class Database {
 
   Status LogStatement(const std::string& text);
   // Shifts <path>.i -> <path>.i+1, the active log to <path>.1, and opens a
-  // fresh one. Caller holds stmt_mu_. Failure (after bounded retry)
-  // degrades the store: mutations refuse, reads serve unlogged.
+  // fresh one (pipeline quiesced for the handle swap). Caller holds
+  // stmt_mu_. Failure (after bounded retry) degrades the store: mutations
+  // refuse, reads serve unlogged.
   Status RotateStatementLogLocked();
   // Hot-path gate for "is statement logging on": the stmt_log_ pointer is
   // reset by Close() under stmt_mu_, so unlocked reads of it race; this
@@ -288,8 +296,6 @@ class Database {
   // Pre-mutation gate: mutators apply to memory before their WAL append,
   // so an offline WAL must reject the op up front, not after the fact.
   Status WalHealthy();
-  Status AppendWithPolicy(WritableFile* f, const std::string& text,
-                          int64_t* last_sync);
 
   RelOptions options_;
   Clock* clock_;
@@ -333,22 +339,29 @@ class Database {
   std::atomic<uint64_t> last_ckpt_snapshot_bytes_{0};
   std::atomic<int64_t> last_ckpt_micros_{0};
 
-  std::mutex wal_mu_;
+  // Both log handles are written only by the group-commit pipeline's
+  // committer thread; the handles themselves are swapped only under
+  // pipeline quiesce (Open, Close, Checkpoint, statement-log rotation).
   std::unique_ptr<WritableFile> wal_;
   // Degraded when the WAL can no longer be trusted to persist acked
   // mutations (failed hot-path append/sync, failed re-establishment after
   // a checkpoint). Healed by the next successful Checkpoint().
   HealthTracker wal_health_;
-  int64_t wal_last_sync_ = 0;
   std::mutex stmt_mu_;
   std::unique_ptr<WritableFile> stmt_log_;
-  int64_t stmt_last_sync_ = 0;
   uint64_t stmt_bytes_ = 0;  // active statement log length; under stmt_mu_
   // Degraded when statement logging failed (append or rotation): evidence
   // of later statements would be lost, so mutations refuse and read
   // logging suspends. Only reopen heals.
   HealthTracker stmt_health_;
   std::atomic<bool> stmt_active_{false};
+
+  CommitPipeline* pipeline_ = nullptr;
+  CommitPipeline::Target* wal_target_ = nullptr;
+  CommitPipeline::Target* stmt_target_ = nullptr;
+  // Declared after the log handles so the committer thread is joined
+  // before either handle is destroyed.
+  std::unique_ptr<CommitPipeline> owned_pipeline_;
 
   bool open_ = false;
 };

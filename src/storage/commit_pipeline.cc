@@ -1,0 +1,393 @@
+#include "src/storage/commit_pipeline.h"
+
+#include <chrono>
+#include <deque>
+
+namespace gdpr {
+
+namespace {
+constexpr int64_t kEverySecIntervalMicros = 1000000;
+}  // namespace
+
+// One blocked Commit() call. Lives on the caller's stack; the committer
+// must fully publish the outcome before notifying and never touch the
+// waiter afterwards.
+struct CommitWaiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+};
+
+struct CommitPipeline::Frame {
+  std::string bytes;
+  CommitWaiter* waiter = nullptr;
+  uint64_t enqueue_us = 0;
+};
+
+struct CommitPipeline::Ring {
+  std::mutex mu;
+  std::deque<Frame> q;
+};
+
+struct CommitPipeline::Target {
+  std::string name;
+  SyncPolicy sync = SyncPolicy::kAlways;
+  HealthTracker* health = nullptr;
+  obs::Counter* syncs = nullptr;
+  obs::Counter* sync_failures = nullptr;
+  obs::Histogram* stall_us = nullptr;
+
+  // Changed only while quiesced (committer idle, writers excluded), so the
+  // committer reads these without a lock.
+  WritableFile* file = nullptr;
+  std::function<void(std::string_view)> tee;
+
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<size_t> queued{0};
+  std::atomic<bool> in_flight{false};
+  std::atomic<bool> quiescing{false};
+  std::atomic<bool> sync_requested{false};
+  std::atomic<bool> poisoned{false};
+  Status poison_status;  // guarded by pipeline mu_
+  int64_t last_sync_us = 0;  // committer-only (reset under quiesce)
+  size_t steal_cursor = 0;   // committer-only
+
+  // Writers hold shared while enqueuing; WithQuiesced holds unique so a
+  // swap/rotation never races an enqueue.
+  std::shared_mutex pause_mu;
+};
+
+CommitPipeline::CommitPipeline() : CommitPipeline(Options()) {}
+
+CommitPipeline::CommitPipeline(Options opts)
+    : opts_(opts),
+      clock_(opts.clock ? opts.clock : RealClock::Default()),
+      metrics_(opts.metrics ? opts.metrics : &owned_metrics_) {
+  if (opts_.rings == 0) opts_.rings = 1;
+  m_batch_frames_ = metrics_->GetHistogram("commit_batch_frames");
+  m_fsync_us_ = metrics_->GetHistogram("commit_fsync_us");
+  m_queue_depth_ = metrics_->GetGauge("commit_queue_depth");
+  m_batches_ = metrics_->GetCounter("commit_batches_total");
+  m_frames_ = metrics_->GetCounter("commit_frames_total");
+  m_bytes_ = metrics_->GetCounter("commit_bytes_total");
+  m_failures_ = metrics_->GetCounter("commit_failures_total");
+  committer_ = std::thread([this] { CommitterLoop(); });
+}
+
+CommitPipeline::~CommitPipeline() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_one();
+  if (committer_.joinable()) committer_.join();
+  DrainAllOnShutdown();
+}
+
+uint64_t CommitPipeline::NowMicros() const {
+  return static_cast<uint64_t>(clock_->NowMicros());
+}
+
+CommitPipeline::Target* CommitPipeline::Attach(std::string name,
+                                               WritableFile* file,
+                                               SyncPolicy sync,
+                                               HealthTracker* health,
+                                               obs::Counter* syncs,
+                                               obs::Counter* sync_failures) {
+  auto t = std::make_unique<Target>();
+  t->name = std::move(name);
+  t->file = file;
+  t->sync = sync;
+  t->health = health;
+  t->syncs = syncs;
+  t->sync_failures = sync_failures;
+  t->stall_us =
+      metrics_->GetHistogram("commit_stall_us{log=\"" + t->name + "\"}");
+  t->rings.reserve(opts_.rings);
+  for (size_t i = 0; i < opts_.rings; ++i)
+    t->rings.push_back(std::make_unique<Ring>());
+  t->last_sync_us = clock_->NowMicros();
+  Target* out = t.get();
+  std::lock_guard<std::mutex> l(mu_);
+  targets_.push_back(std::move(t));
+  return out;
+}
+
+Status CommitPipeline::Commit(Target* t, std::string frame,
+                              uint64_t ring_hint,
+                              const std::function<Status()>& gate) {
+  CommitWaiter w;
+  {
+    std::shared_lock<std::shared_mutex> pause(t->pause_mu);
+    if (t->poisoned.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> l(mu_);
+      return t->poison_status;
+    }
+    Ring& r = *t->rings[ring_hint % t->rings.size()];
+    std::lock_guard<std::mutex> rl(r.mu);
+    // The gate runs under the ring mutex: whatever state it observes is
+    // ordered against every other gated enqueue on this ring.
+    if (gate) {
+      Status gs = gate();
+      if (!gs.ok()) return gs;
+    }
+    // Detached log: accept and ack without writing (legacy "log disabled"
+    // fast path — e.g. MemKV with aof_enabled=false).
+    if (t->file == nullptr) return Status::OK();
+    Frame f;
+    f.bytes = std::move(frame);
+    f.waiter = &w;
+    f.enqueue_us = NowMicros();
+    r.q.push_back(std::move(f));
+    t->queued.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Lock-then-notify so a committer mid-predicate-evaluation cannot miss
+  // the wakeup (our enqueue isn't under mu_).
+  {
+    std::lock_guard<std::mutex> l(mu_);
+  }
+  cv_work_.notify_one();
+  std::unique_lock<std::mutex> wl(w.mu);
+  w.cv.wait(wl, [&] { return w.done; });
+  return w.status;
+}
+
+void CommitPipeline::RequestSync(Target* t) {
+  if (t->sync != SyncPolicy::kEverySec) return;
+  t->sync_requested.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+  }
+  cv_work_.notify_one();
+}
+
+Status CommitPipeline::WithQuiesced(Target* t,
+                                    const std::function<Status()>& fn) {
+  std::unique_lock<std::shared_mutex> pause(t->pause_mu);
+  t->quiescing.store(true);  // seq_cst: pairs with the committer's
+                             // in_flight handshake around timed syncs
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_work_.notify_one();  // kick the committer to drain us
+    cv_idle_.wait(l, [&] {
+      return t->queued.load() == 0 && !t->in_flight.load();
+    });
+  }
+  Status s = fn();
+  t->quiescing.store(false);
+  return s;
+}
+
+void CommitPipeline::SetFile(Target* t, WritableFile* file) {
+  t->file = file;
+  t->last_sync_us = clock_->NowMicros();
+  t->sync_requested.store(false);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    t->poison_status = Status::OK();
+  }
+  t->poisoned.store(false, std::memory_order_release);
+}
+
+void CommitPipeline::SetTee(Target* t,
+                            std::function<void(std::string_view)> tee) {
+  t->tee = std::move(tee);
+}
+
+size_t CommitPipeline::QueuedFrames(Target* t) const {
+  return t->queued.load();
+}
+
+void CommitPipeline::CommitterLoop() {
+  std::vector<Target*> ts;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      cv_work_.wait_for(l, std::chrono::milliseconds(100), [&] {
+        if (shutdown_) return true;
+        for (const auto& t : targets_)
+          if (t->queued.load() > 0 || t->sync_requested.load()) return true;
+        return false;
+      });
+      if (shutdown_) return;
+      ts.clear();
+      for (const auto& t : targets_) ts.push_back(t.get());
+    }
+    for (Target* t : ts) ProcessTarget(t);
+  }
+}
+
+void CommitPipeline::FailBatch(Target* t, std::vector<Frame>& batch,
+                               const Status& s) {
+  m_failures_->Add(1);
+  if (t->health) t->health->Degrade(s);
+  for (Frame& f : batch) {
+    CommitWaiter* w = f.waiter;
+    // Notify under the waiter's mutex: the waiter frees its stack slot
+    // the moment it observes done, so a notify after unlock would race
+    // the condvar's destruction.
+    std::lock_guard<std::mutex> wl(w->mu);
+    w->status = s;
+    w->done = true;
+    w->cv.notify_one();
+  }
+}
+
+bool CommitPipeline::ProcessTarget(Target* t) {
+  bool did = false;
+  while (t->queued.load(std::memory_order_acquire) > 0) {
+    m_queue_depth_->Set(static_cast<int64_t>(t->queued.load()));
+    // Mark in-flight BEFORE decrementing queued so WithQuiesced never
+    // observes (queued==0, !in_flight) while a batch is outstanding.
+    t->in_flight.store(true);
+    std::vector<Frame> batch;
+    const size_t maxf = opts_.max_batch_frames;
+    const size_t nrings = t->rings.size();
+    for (size_t k = 0; k < nrings; ++k) {
+      if (maxf != 0 && batch.size() >= maxf) break;
+      Ring& r = *t->rings[(t->steal_cursor + k) % nrings];
+      std::lock_guard<std::mutex> rl(r.mu);
+      while (!r.q.empty() && (maxf == 0 || batch.size() < maxf)) {
+        batch.push_back(std::move(r.q.front()));
+        r.q.pop_front();
+      }
+    }
+    t->steal_cursor = (t->steal_cursor + 1) % nrings;
+    if (batch.empty()) {
+      std::lock_guard<std::mutex> l(mu_);
+      t->in_flight.store(false);
+      cv_idle_.notify_all();
+      break;
+    }
+    did = true;
+
+    std::string buf;
+    size_t bytes = 0;
+    for (const Frame& f : batch) bytes += f.bytes.size();
+    buf.reserve(bytes);
+    for (const Frame& f : batch) buf.append(f.bytes);
+
+    Status s = t->file->Append(buf);
+    if (s.ok() && t->sync == SyncPolicy::kAlways) {
+      uint64_t t0 = NowMicros();
+      Status ss = t->file->Sync();
+      m_fsync_us_->Record(NowMicros() - t0);
+      if (ss.ok()) {
+        if (t->syncs) t->syncs->Add(1);
+        t->last_sync_us = clock_->NowMicros();
+      } else {
+        if (t->sync_failures) t->sync_failures->Add(1);
+        s = ss;
+      }
+    }
+
+    if (!s.ok()) {
+      // fsyncgate: the handle may have dropped dirty pages while marking
+      // them clean — poison the target, never retry; only a full
+      // rewrite-from-memory (SetFile under quiesce) re-establishes it.
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        if (t->poison_status.ok()) t->poison_status = s;
+      }
+      t->poisoned.store(true, std::memory_order_release);
+      FailBatch(t, batch, s);
+    } else {
+      m_batch_frames_->Record(batch.size());
+      m_batches_->Add(1);
+      m_frames_->Add(batch.size());
+      m_bytes_->Add(bytes);
+      // The tee observes only fully committed batches (post-write, and
+      // post-fsync under kAlways): a failed batch whose memory effects
+      // the caller rolled back can never leak into a compaction mirror.
+      if (t->tee) t->tee(buf);
+      uint64_t now = NowMicros();
+      for (Frame& f : batch) {
+        t->stall_us->Record(now >= f.enqueue_us ? now - f.enqueue_us : 0);
+        CommitWaiter* w = f.waiter;
+        // Notify under the waiter's mutex (see FailBatch).
+        std::lock_guard<std::mutex> wl(w->mu);
+        w->status = Status::OK();
+        w->done = true;
+        w->cv.notify_one();
+      }
+      MaybeTimedSync(t);
+    }
+
+    t->queued.fetch_sub(batch.size(), std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      t->in_flight.store(false);
+    }
+    cv_idle_.notify_all();
+  }
+
+  // Standalone timed sync (RequestSync / periodic tick). The in_flight
+  // handshake keeps us off the file while WithQuiesced swaps it: we set
+  // in_flight, THEN check quiescing; the quiescer sets quiescing, THEN
+  // waits for !in_flight (both seq_cst, so at most one side proceeds).
+  if (t->sync_requested.load(std::memory_order_acquire)) {
+    t->in_flight.store(true);
+    if (!t->quiescing.load() && t->sync_requested.exchange(false)) {
+      MaybeTimedSync(t);
+      did = true;
+    }
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      t->in_flight.store(false);
+    }
+    cv_idle_.notify_all();
+  }
+  return did;
+}
+
+void CommitPipeline::MaybeTimedSync(Target* t) {
+  if (t->sync != SyncPolicy::kEverySec) return;
+  if (t->file == nullptr || t->poisoned.load(std::memory_order_acquire))
+    return;
+  int64_t now = clock_->NowMicros();
+  if (now - t->last_sync_us < kEverySecIntervalMicros) return;
+  uint64_t t0 = NowMicros();
+  Status s = t->file->Sync();
+  m_fsync_us_->Record(NowMicros() - t0);
+  if (s.ok()) {
+    if (t->syncs) t->syncs->Add(1);
+    t->last_sync_us = now;
+    return;
+  }
+  // A timed fsync covers already-acked writes, so there is no caller to
+  // fail — poison the target and degrade; future commits fail fast.
+  if (t->sync_failures) t->sync_failures->Add(1);
+  m_failures_->Add(1);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (t->poison_status.ok()) t->poison_status = s;
+  }
+  t->poisoned.store(true, std::memory_order_release);
+  if (t->health) t->health->Degrade(s);
+}
+
+void CommitPipeline::DrainAllOnShutdown() {
+  // Committer is joined; fail anything still queued so no waiter hangs.
+  // Proper shutdown (owners quiesce + detach before destroying the
+  // pipeline) never reaches here with queued frames.
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& t : targets_) {
+    for (const auto& r : t->rings) {
+      std::lock_guard<std::mutex> rl(r->mu);
+      while (!r->q.empty()) {
+        Frame f = std::move(r->q.front());
+        r->q.pop_front();
+        t->queued.fetch_sub(1);
+        CommitWaiter* w = f.waiter;
+        // Notify under the waiter's mutex (see FailBatch).
+        std::lock_guard<std::mutex> wl(w->mu);
+        w->status = Status::Unavailable("commit pipeline shut down");
+        w->done = true;
+        w->cv.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace gdpr

@@ -1,0 +1,172 @@
+// Group-commit pipeline: one batched durability path for every log in the
+// system (MemKV AOF, rel WAL, rel statement log, durable audit chain).
+//
+// Writers enqueue framed records into per-target rings and block on a
+// completion handle; a single committer thread per pipeline steals queued
+// frames, coalesces them into one write() (+ one fsync under kAlways) per
+// target file, and signals every waiter in the batch with the batch's
+// outcome. Batch failure fans out to ALL waiters in the batch; fsync
+// failure keeps the PR 6 fsyncgate semantics: the target is poisoned
+// (never retried), the owning store degrades via its HealthTracker, and
+// only a full rewrite-from-memory (compaction / checkpoint) re-establishes
+// the log via SetFile().
+//
+// Ack contract per sync policy (see docs/PERSISTENCE.md "Group commit"):
+//   kAlways   — Commit() returns after the batch's write AND fsync
+//               succeeded: an OK ack means bytes are durable.
+//   kEverySec — Commit() returns after the batch's write() succeeded; the
+//               committer issues a timed fsync at most once per second
+//               (off every caller mutex — this is the AofMaybeSync fix).
+//               A timed-fsync failure cannot be attributed to an acked
+//               caller, so it only poisons the target and degrades health.
+//   kNever    — Commit() returns after write(); no fsync is ever issued.
+//
+// Ordering contract: frames pushed to the SAME ring of a target are
+// written in push order (rings drain FIFO and batches concatenate rings
+// in index order within one write call). Callers that need per-key order
+// (e.g. MemKV's no-R-after-T invariant) route all frames for a key to the
+// same ring via `ring_hint` and run ordering checks in the enqueue `gate`,
+// which executes under the ring mutex — a gate that observes state X is
+// guaranteed to enqueue before any later frame whose gate observes X'.
+//
+// Single-threaded callers see batches of exactly one frame (each Commit
+// blocks until its frame is written), so deterministic fault sweeps over
+// FaultEnv keep their exact op sequence — the committer thread performs
+// the same Append/Sync calls, in the same order, that the caller used to.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/health.h"
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/storage/env.h"
+
+namespace gdpr {
+
+class CommitPipeline {
+ public:
+  struct Options {
+    // Rings per target. Writers spread by ring_hint % rings; per-key
+    // ordering only needs "same hint -> same ring", so any power of two
+    // that exceeds typical writer concurrency works.
+    size_t rings = 8;
+    // Max frames coalesced into one write()+fsync. 0 = unbounded (true
+    // group commit); 1 = one frame per batch, i.e. the per-write
+    // baseline benches compare against.
+    size_t max_batch_frames = 0;
+    // Metrics sink. nullptr -> a private registry (metrics still kept,
+    // just not exported anywhere).
+    obs::MetricsRegistry* metrics = nullptr;
+    Clock* clock = nullptr;  // nullptr -> RealClock::Default()
+  };
+
+  // Opaque per-log handle. Stable for the pipeline's lifetime.
+  struct Target;
+
+  CommitPipeline();
+  explicit CommitPipeline(Options opts);
+  ~CommitPipeline();
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  // Registers a log file with the pipeline. The pipeline BORROWS `file`;
+  // the owner keeps ownership and must quiesce (WithQuiesced + SetFile)
+  // before closing or swapping it. `health` (optional) is degraded on
+  // batch failure with the failing status as cause. `syncs` /
+  // `sync_failures` (optional) are bumped per fsync attempt so owners
+  // keep their existing per-log sync counters.
+  Target* Attach(std::string name, WritableFile* file, SyncPolicy sync,
+                 HealthTracker* health = nullptr,
+                 obs::Counter* syncs = nullptr,
+                 obs::Counter* sync_failures = nullptr);
+
+  // Blocking group commit of one framed record. Returns when durability
+  // has been decided per the target's sync policy (see header comment).
+  //
+  // `gate` (optional) runs under the ring mutex immediately before the
+  // frame is enqueued; a non-OK gate aborts the commit without enqueuing
+  // and its status is returned verbatim. Gates must not block on locks
+  // that Commit() callers hold across Commit().
+  //
+  // A detached target (SetFile(nullptr)) accepts and acks commits as OK
+  // without writing, mirroring the legacy "log disabled" fast path.
+  // A poisoned target fails fast with the poisoning status.
+  Status Commit(Target* t, std::string frame, uint64_t ring_hint = 0,
+                const std::function<Status()>& gate = nullptr);
+
+  // Asks the committer to run the target's timed (kEverySec) fsync off
+  // the caller's thread if the sync interval has elapsed. Non-blocking;
+  // no-op for kAlways/kNever targets and while the target is quiesced.
+  void RequestSync(Target* t);
+
+  // Drains the target (all queued frames written, none in flight), blocks
+  // new Commit() calls, and runs `fn` on the calling thread with exclusive
+  // access to the underlying file. Used for log rotation, compaction
+  // swaps, and close. Returns fn's status.
+  Status WithQuiesced(Target* t, const std::function<Status()>& fn);
+
+  // Replaces the target's file. MUST be called from within WithQuiesced's
+  // fn (or before any Commit). Clears poison — a swapped-in file is a
+  // freshly re-established log. nullptr detaches (commits ack OK).
+  void SetFile(Target* t, WritableFile* file);
+
+  // Installs a tap that observes every successfully committed batch's
+  // bytes, in commit order, on the committer thread. Invoked only AFTER
+  // the whole batch's write (and kAlways fsync) succeeded, so a mirror
+  // fed by the tee can never resurrect a failed, rolled-back record.
+  // Install/remove from within WithQuiesced's fn. nullptr removes.
+  void SetTee(Target* t, std::function<void(std::string_view)> tee);
+
+  // Testing/introspection: frames queued but not yet written.
+  size_t QueuedFrames(Target* t) const;
+
+ private:
+  struct Frame;
+  struct Ring;
+
+  void CommitterLoop();
+  // Steals and writes one batch for `t`. Returns true if any work done.
+  bool ProcessTarget(Target* t);
+  void FailBatch(Target* t, std::vector<Frame>& batch, const Status& s);
+  // Issues the kEverySec fsync if the interval elapsed. Committer-only.
+  void MaybeTimedSync(Target* t);
+  void DrainAllOnShutdown();
+  uint64_t NowMicros() const;
+
+  Options opts_;
+  Clock* clock_;
+  obs::MetricsRegistry owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+
+  // Pipeline-wide obs (shared across targets; per-log stalls are
+  // per-target histograms created in Attach).
+  obs::Histogram* m_batch_frames_;
+  obs::Histogram* m_fsync_us_;
+  obs::Gauge* m_queue_depth_;
+  obs::Counter* m_batches_;
+  obs::Counter* m_frames_;
+  obs::Counter* m_bytes_;
+  obs::Counter* m_failures_;
+
+  // Guards targets_ vector growth, shutdown flag, and committer wakeup.
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // committer waits here
+  std::condition_variable cv_idle_;   // quiesce waits here
+  std::vector<std::unique_ptr<Target>> targets_;
+  bool shutdown_ = false;
+  std::thread committer_;
+};
+
+}  // namespace gdpr
