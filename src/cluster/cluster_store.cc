@@ -1,3 +1,9 @@
+// The cluster router. Everything below routes, fans out, migrates, merges,
+// and verifies exclusively through net::NodeHandle — this file never names
+// a node's concrete store type (CI greps to keep it that way), which is
+// what lets ClusterOptions::transport swap direct calls for framed sockets
+// without touching a single routing path.
+
 #include "cluster/cluster_store.h"
 
 #include <algorithm>
@@ -7,6 +13,7 @@
 #include "common/epoch.h"
 #include "common/string_util.h"
 #include "gdpr/ops.h"
+#include "net/rpc_client.h"
 
 namespace gdpr::cluster {
 
@@ -15,20 +22,38 @@ ClusterGdprStore::ClusterGdprStore(const ClusterOptions& options)
       slot_map_(options.slots, uint32_t(options.nodes ? options.nodes : 1)) {
   clock_ = options_.clock ? options_.clock : RealClock::Default();
   const size_t n = options_.nodes ? options_.nodes : 1;
+  stores_.reserve(n);
   nodes_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    KvGdprOptions o;
-    o.clock = clock_;
-    o.compliance = options_.compliance;
-    o.kv = options_.kv;
-    o.audit = options_.audit;
-    if (!o.kv.aof_path.empty()) {
-      o.kv.aof_path += StringPrintf(".node%zu", i);
+    stores_.push_back(MakeNodeStore(options_, clock_, i));
+  }
+  if (options_.transport == ClusterTransport::kLoopbackSocket) {
+    // Every node gets its own RPC server and the router talks to it over a
+    // connected socket pair: the full wire protocol — encode, frame,
+    // decode, dispatch, frame back — sits between router and store, same
+    // as it would across machines.
+    servers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      servers_.push_back(std::make_unique<net::RpcServer>(stores_[i].get()));
+      net::RpcServer* srv = servers_.back().get();
+      const Status started = srv->Start();
+      net::RemoteHandleOptions ro;
+      ro.timeout_ms = options_.rpc_timeout_ms;
+      ro.reconnect_fn = [srv] { return srv->CreateLoopbackConnection(); };
+      ro.metrics = &registry_;
+      ro.node_label = std::to_string(i);
+      // A server that failed to start hands out no connections; the handle
+      // starts dead and every call on it surfaces Unavailable — the same
+      // shape as a node that died later, so no special construction path.
+      const int fd = started.ok() ? srv->CreateLoopbackConnection() : -1;
+      nodes_.push_back(
+          std::make_unique<net::RemoteHandle>(fd, std::move(ro)));
     }
-    if (!o.audit.path.empty()) {
-      o.audit.path += StringPrintf(".node%zu", i);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      nodes_.push_back(
+          std::make_unique<net::InProcessHandle>(stores_[i].get()));
     }
-    nodes_.push_back(std::make_unique<KvGdprStore>(o));
   }
   slot_fence_.reserve(slot_map_.num_slots());
   for (uint32_t s = 0; s < slot_map_.num_slots(); ++s) {
@@ -50,7 +75,9 @@ ClusterGdprStore::ClusterGdprStore(const ClusterOptions& options)
   pool_ = std::make_unique<ScatterGather>(workers);
 }
 
-ClusterGdprStore::~ClusterGdprStore() { Close().ok(); }
+ClusterGdprStore::~ClusterGdprStore() {
+  WarnIfError(Close(), "ClusterGdprStore::Close");
+}
 
 Status ClusterGdprStore::Open() {
   for (auto& node : nodes_) {
@@ -90,7 +117,7 @@ void ClusterGdprStore::AuditCluster(const Actor& actor, const char* op,
 
 template <typename T>
 std::vector<T> ClusterGdprStore::FanOut(
-    const std::function<T(KvGdprStore*)>& fn) {
+    const std::function<T(net::NodeHandle*)>& fn) {
   std::vector<std::optional<T>> staged(nodes_.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(nodes_.size());
@@ -98,6 +125,8 @@ std::vector<T> ClusterGdprStore::FanOut(
     tasks.push_back([this, &staged, &fn, i] {
       // Per-node sub-query execution time: a slow or degraded node shows
       // up as a fat tail on its own label, not smeared across the gather.
+      // Over a socket transport this wraps the whole RPC; the handle's own
+      // cluster_rpc_us{node=i} isolates the wire share of it.
       obs::ScopedTimer fanout_timer(fanout_hist_[i], clock_);
       staged[i].emplace(fn(nodes_[i].get()));
     });
@@ -120,7 +149,8 @@ std::vector<GdprRecord> ClusterGdprStore::MergeRecords(
   for (auto& part : parts) {
     if (!part.ok()) {
       if (part.status().IsUnavailable()) {
-        // A degraded node refusing the sub-query: route around it — its
+        // A degraded node refusing the sub-query — or, over a socket
+        // transport, a node that stopped answering: route around it. Its
         // records are a partition the healthy nodes don't hold, but a
         // partial answer beats a cluster-wide outage. (Point ops to its
         // slots still surface the refusal directly.)
@@ -205,11 +235,13 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataByUser(
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
   Status status;
   auto merged = MergeRecords(
-      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
-        // One epoch pin per worker task: guards are reentrant, so the
-        // node's index probe and every per-key fetch under it ride this
-        // outer pin (depth bumps) instead of re-running the announce/
-        // re-check protocol once per node visited on the same thread.
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](net::NodeHandle* node) {
+        // One epoch pin per worker task: guards are reentrant, so an
+        // in-process node's index probe and every per-key fetch under it
+        // ride this outer pin (depth bumps) instead of re-running the
+        // announce/re-check protocol once per node visited on the same
+        // thread. For a remote node the pin covers nothing (the store
+        // runs in the server's thread) and costs one announce — harmless.
         // Erasure fan-outs deliberately do NOT do this — pinning an epoch
         // across fsync-heavy mutations would stall reclamation.
         EpochGuard epoch;
@@ -225,7 +257,7 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataByPurpose(
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
   Status status;
   auto merged = MergeRecords(
-      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](net::NodeHandle* node) {
         EpochGuard epoch;  // one pin per worker task (see ReadMetadataByUser)
         return node->ReadMetadataByPurpose(actor, purpose);
       }),
@@ -239,7 +271,7 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadMetadataBySharing(
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
   Status status;
   auto merged = MergeRecords(
-      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](net::NodeHandle* node) {
         EpochGuard epoch;  // one pin per worker task (see ReadMetadataByUser)
         return node->ReadMetadataBySharing(actor, third_party);
       }),
@@ -253,7 +285,7 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadRecordsByUser(
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
   Status status;
   auto merged = MergeRecords(
-      FanOut<StatusOr<std::vector<GdprRecord>>>([&](KvGdprStore* node) {
+      FanOut<StatusOr<std::vector<GdprRecord>>>([&](net::NodeHandle* node) {
         EpochGuard epoch;  // one pin per worker task (see ReadMetadataByUser)
         return node->ReadRecordsByUser(actor, user);
       }),
@@ -265,41 +297,50 @@ StatusOr<std::vector<GdprRecord>> ClusterGdprStore::ReadRecordsByUser(
 StatusOr<size_t> ClusterGdprStore::DeleteRecordsByUser(
     const Actor& actor, const std::string& user) {
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
-  auto parts = FanOut<StatusOr<size_t>>([&](KvGdprStore* node) {
+  auto parts = FanOut<StatusOr<size_t>>([&](net::NodeHandle* node) {
     return node->DeleteRecordsByUser(actor, user);
   });
   // Forget must be durable on *every* node before it reads as success: a
   // degraded node that cannot tombstone keeps its copies, so report the
   // partial failure with what did get erased elsewhere — the caller (or a
-  // retry after the node heals) finishes the job. Each node runs its own
-  // group-commit pipeline, and a node's erasure path blocks inside
-  // Commit() until its tombstone frame is written (and fsynced under
-  // kAlways) — a fan-out part that returns OK has its tombstone decided
-  // durable, batching or not.
+  // retry after the node heals) finishes the job. The handle's durability
+  // contract makes this transport-proof: in-process, an OK part returns
+  // only after the node's group-commit pipeline decided its tombstone
+  // frame durable; remote, only after the response frame the server sends
+  // once that same call returned — a node killed or timing out mid-erasure
+  // therefore lands in the failed list below, never in `erased`.
   size_t erased = 0;
-  size_t failed_nodes = 0;
+  std::vector<size_t> failed_nodes;
   Status first_failure = Status::OK();
-  for (const auto& part : parts) {
-    if (!part.ok()) {
-      ++failed_nodes;
-      if (first_failure.ok()) first_failure = part.status();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].ok()) {
+      failed_nodes.push_back(i);
+      if (first_failure.ok()) first_failure = parts[i].status();
       continue;
     }
-    erased += part.value();
+    erased += parts[i].value();
   }
-  if (failed_nodes > 0) {
+  if (!failed_nodes.empty()) {
+    // Name the nodes that still hold the user's records — the operator's
+    // retry targets.
+    std::string names;
+    for (size_t i = 0; i < failed_nodes.size(); ++i) {
+      if (i) names += ", ";
+      names += "node " + std::to_string(failed_nodes[i]);
+    }
     return Status(first_failure.code(),
                   StringPrintf("user erasure incomplete: %zu of %zu nodes "
-                               "failed (%zu records erased elsewhere): ",
-                               failed_nodes, parts.size(), erased) +
-                      first_failure.message());
+                               "failed (%zu records erased elsewhere; "
+                               "failed: ",
+                               failed_nodes.size(), parts.size(), erased) +
+                      names + "): " + first_failure.message());
   }
   return erased;
 }
 
 StatusOr<size_t> ClusterGdprStore::DeleteExpiredRecords(const Actor& actor) {
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
-  auto parts = FanOut<StatusOr<size_t>>([&](KvGdprStore* node) {
+  auto parts = FanOut<StatusOr<size_t>>([&](net::NodeHandle* node) {
     return node->DeleteExpiredRecords(actor);
   });
   size_t reclaimed = 0;
@@ -313,7 +354,7 @@ StatusOr<size_t> ClusterGdprStore::DeleteExpiredRecords(const Actor& actor) {
 StatusOr<std::vector<AuditEntry>> ClusterGdprStore::GetSystemLogs(
     const Actor& actor, int64_t from_micros, int64_t to_micros) {
   auto parts =
-      FanOut<StatusOr<std::vector<AuditEntry>>>([&](KvGdprStore* node) {
+      FanOut<StatusOr<std::vector<AuditEntry>>>([&](net::NodeHandle* node) {
         return node->GetSystemLogs(actor, from_micros, to_micros);
       });
   std::vector<AuditEntry> merged;
@@ -392,7 +433,7 @@ StatusOr<CompactionStats> ClusterGdprStore::CompactNow(const Actor& actor) {
   // otherwise land its records on a node whose rewrite already passed,
   // resurrecting log frames the source just compacted away.
   std::shared_lock<std::shared_mutex> no_migration(migrate_mu_);
-  auto parts = FanOut<StatusOr<CompactionStats>>([&](KvGdprStore* node) {
+  auto parts = FanOut<StatusOr<CompactionStats>>([&](net::NodeHandle* node) {
     return node->CompactNow(actor);
   });
   CompactionStats merged;
@@ -418,7 +459,7 @@ StatusOr<CompactionStats> ClusterGdprStore::CompactNow(const Actor& actor) {
 }
 
 CompactionStats ClusterGdprStore::GetCompactionStats() {
-  auto parts = FanOut<CompactionStats>([&](KvGdprStore* node) {
+  auto parts = FanOut<CompactionStats>([&](net::NodeHandle* node) {
     return node->GetCompactionStats();
   });
   CompactionStats merged;
@@ -456,12 +497,12 @@ Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
     std::unique_lock<std::shared_mutex> fence(*slot_fence_[slot]);
     const uint32_t src_idx = slot_map_.OwnerOf(slot);
     if (src_idx == dst_node) continue;
-    KvGdprStore* src = nodes_[src_idx].get();
-    KvGdprStore* dst = nodes_[dst_node].get();
-    const auto in_slot = [this, slot](const std::string& key) {
-      return slot_map_.SlotOf(key) == slot;
-    };
-    auto exported = src->ExportRecords(in_slot);
+    net::NodeHandle* src = nodes_[src_idx].get();
+    net::NodeHandle* dst = nodes_[dst_node].get();
+    // Slot-scoped exports: the node computes membership with the same
+    // net::SlotForKey the router routes by, so no predicate crosses the
+    // transport and the two sides cannot disagree about the slot's keys.
+    auto exported = src->ExportSlotRecords(slot, slot_map_.num_slots());
     if (!exported.ok()) {
       // An unreadable record on the source: migrating would silently drop
       // it from the destination copy. Leave the slot where it is.
@@ -478,8 +519,11 @@ Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
     const auto rollback_copy = [&](size_t n_records,
                                    const std::vector<std::string>& tombs,
                                    Status cause) -> Status {
-      for (const std::string& key : tombs) dst->raw()->ClearTombstone(key);
       bool clean = true;
+      for (const std::string& key : tombs) {
+        Status cs = dst->ClearTombstone(key);
+        if (!cs.ok()) clean = false;
+      }
       for (size_t j = 0; j < n_records; ++j) {
         Status es = dst->EvictRecord(records[j].key);
         if (!es.ok() && !es.IsNotFound()) clean = false;
@@ -499,10 +543,15 @@ Status ClusterGdprStore::MoveSlots(const std::vector<uint32_t>& slots,
       Status s = dst->ImportRecord(records[i]);
       if (!s.ok()) return rollback_copy(i, {}, s);
     }
+    // Evidence must move with its slot or VerifyDeletion turns false on
+    // the new owner. The export itself can now fail (a dead transport);
+    // that aborts the move like any other copy failure.
+    auto tombstones = src->ExportSlotTombstones(slot, slot_map_.num_slots());
+    if (!tombstones.ok()) {
+      return rollback_copy(records.size(), {}, tombstones.status());
+    }
     std::vector<std::string> adopted;
-    for (const std::string& key : src->ExportTombstones(in_slot)) {
-      // Evidence must move with its slot or VerifyDeletion turns false on
-      // the new owner.
+    for (const std::string& key : tombstones.value()) {
       Status s = dst->AdoptTombstone(key);
       if (!s.ok()) return rollback_copy(records.size(), adopted, s);
       adopted.push_back(key);
@@ -580,7 +629,8 @@ obs::RegistrySnapshot ClusterGdprStore::StatsSnapshot() {
       ->Set(static_cast<int64_t>(audit_log_.unsealed_tail()));
   obs::RegistrySnapshot snap = registry_.Snapshot();
   // Same-name metrics sum across nodes (counters and histogram buckets);
-  // per-node detail stays visible through the node="i" fan-out labels.
+  // per-node detail stays visible through the node="i" fan-out labels. An
+  // unreachable remote node contributes an empty snapshot, never a stall.
   for (auto& node : nodes_) snap.MergeFrom(node->StatsSnapshot());
   return snap;
 }
@@ -589,7 +639,10 @@ bool ClusterGdprStore::VerifyAuditChains(std::vector<bool>* per_node) {
   bool all_ok = true;
   if (per_node) per_node->clear();
   for (auto& node : nodes_) {
-    const bool ok = node->audit_log()->VerifyChain();
+    const auto verdict = node->VerifyAuditChain();
+    // A chain that cannot be fetched cannot be trusted: an unreachable
+    // node verifies as false rather than vacuously true.
+    const bool ok = verdict.ok() && verdict.value().chain_ok;
     if (per_node) per_node->push_back(ok);
     all_ok = all_ok && ok;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/wire.h"
+
 namespace gdpr::cluster {
 
 SlotMap::SlotMap(uint32_t num_slots, uint32_t num_nodes)
@@ -15,12 +17,10 @@ SlotMap::SlotMap(uint32_t num_slots, uint32_t num_nodes)
 }
 
 uint32_t SlotMap::SlotOf(const std::string& key) const {
-  uint64_t h = 1469598103934665603ull;
-  for (const char c : key) {
-    h ^= uint8_t(c);
-    h *= 1099511628211ull;
-  }
-  return uint32_t(h % num_slots_);
+  // Delegates to the wire protocol's shared hash: a node serving a
+  // slot-scoped export computes membership with this exact function, so
+  // router and node can never disagree about which keys a slot holds.
+  return net::SlotForKey(key, num_slots_);
 }
 
 std::vector<uint32_t> SlotMap::SlotsOwnedBy(uint32_t node) const {

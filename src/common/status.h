@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <utility>
@@ -101,6 +102,18 @@ class [[nodiscard]] Status {
   StatusCode code_;
   std::string message_;
 };
+
+// Sink for a Status that has nowhere to go — a Close() running inside a
+// destructor cannot return its failure, but silently discarding it (the
+// old `Close().ok();` idiom) hides real teardown problems: an unsynced
+// log, a failed final seal. Callers on normal paths should still propagate
+// the Status; this is strictly for destructor context.
+inline void WarnIfError(const Status& s, const char* context) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "[gdpr] %s failed during teardown: %s\n", context,
+                 s.ToString().c_str());
+  }
+}
 
 template <typename T>
 class [[nodiscard]] StatusOr {

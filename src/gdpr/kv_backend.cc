@@ -28,7 +28,7 @@ KvGdprStore::KvGdprStore(const KvGdprOptions& options) : options_(options) {
   db_ = std::make_unique<kv::MemKV>(kvo);
 }
 
-KvGdprStore::~KvGdprStore() { Close().ok(); }
+KvGdprStore::~KvGdprStore() { WarnIfError(Close(), "KvGdprStore::Close"); }
 
 Status KvGdprStore::Open() {
   Status s = db_->Open();
@@ -729,6 +729,10 @@ Status KvGdprStore::EvictRecord(const std::string& key) {
   if (!s.ok() && !s.IsNotFound()) return s;  // still resident: don't unindex
   if (indexing()) IndexRemove(rec.value());
   return Status::OK();
+}
+
+void KvGdprStore::ClearTombstone(const std::string& key) {
+  db_->ClearTombstone(key);
 }
 
 size_t KvGdprStore::RecordCount() { return db_->Size(); }

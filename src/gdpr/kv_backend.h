@@ -132,6 +132,8 @@ class KvGdprStore : public GdprStore {
   // Removes a record that was copied out — indexes dropped, no tombstone
   // (the record still exists, just elsewhere).
   Status EvictRecord(const std::string& key);
+  // Drops a stale tombstone (rollback of a failed slot-copy adoption).
+  void ClearTombstone(const std::string& key);
 
  private:
   struct TtlItem {

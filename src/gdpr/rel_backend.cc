@@ -51,7 +51,9 @@ RelGdprStore::RelGdprStore(const RelGdprOptions& options) : options_(options) {
   db_ = std::make_unique<rel::Database>(ro);
 }
 
-RelGdprStore::~RelGdprStore() { Close().ok(); }
+RelGdprStore::~RelGdprStore() {
+  WarnIfError(Close(), "RelGdprStore::Close");
+}
 
 Status RelGdprStore::Open() {
   Status s = db_->Open();

@@ -99,7 +99,7 @@ obs::RegistrySnapshot MemKV::StatsSnapshot() {
   return metrics_->Snapshot();
 }
 
-MemKV::~MemKV() { Close().ok(); }
+MemKV::~MemKV() { WarnIfError(Close(), "MemKV::Close"); }
 
 Status MemKV::Open() {
   if (open_.load()) return Status::OK();

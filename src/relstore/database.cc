@@ -63,7 +63,7 @@ obs::RegistrySnapshot Database::StatsSnapshot() {
   return metrics_->Snapshot();
 }
 
-Database::~Database() { Close().ok(); }
+Database::~Database() { WarnIfError(Close(), "Database::Close"); }
 
 Status Database::Open() {
   if (open_) return Status::OK();

@@ -321,6 +321,11 @@ TEST(CommitPipeline, EverySecAcksBeforeSyncAndTimedFailurePoisons) {
 
   ASSERT_TRUE(pl.Commit(t, "a|").ok());
   EXPECT_EQ(file->sync_calls(), 0);  // acked with zero fsyncs issued
+  // The ack fires before the batch's own timed-sync check; wait for the
+  // committer to retire the batch (which happens after that check) so
+  // the clock advance below cannot race it into syncing a| alone and
+  // consuming the interval b|'s batch needs.
+  ASSERT_TRUE(WaitFor([&] { return pl.QueuedFrames(t) == 0; }));
 
   // Interval elapses; the next batch's post-ack timed sync flushes.
   clock.AdvanceSeconds(2);

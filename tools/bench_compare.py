@@ -36,7 +36,11 @@ LOWER_IS_BETTER = ("_us", "_ms", "latency", "bytes", "amplification",
 # Series points carry their metric in a generic "y" field, so direction
 # must come from the bench *name* (e.g. get-scale-writer-retention and
 # get-scale-meta-speedup regress when they DROP, unlike latency series).
-SERIES_HIGHER_IS_BETTER = ("retention", "speedup", "scale-up", "throughput")
+# "-ops" covers the cluster throughput series (cluster-scan-metaq-ops,
+# cluster-idx-metaq-ops); the cluster-rpc-* point-read rows carry explicit
+# ops_per_sec/p50_us/p99_us fields, which the field-name rules handle.
+SERIES_HIGHER_IS_BETTER = ("retention", "speedup", "scale-up", "throughput",
+                           "-ops")
 
 
 def parse_jsonl(path):

@@ -5,11 +5,22 @@
 //   build/tools/statsdump [--backend=kv|rel|cluster] [--nodes=N]
 //                         [--records=N] [--ops=N]
 //                         [--format=table|prom|json]
+//                         [--serve=ADDR | --connect=ADDR]
 //
 //   table  per-metric values plus histogram count/mean/p50/p99 (default)
 //   prom   Prometheus exposition text (what a /metrics endpoint would serve)
 //   json   one JSON object
+//
+// Cross-process mode (ADDR is "unix:/path.sock" or "tcp:host:port"):
+//   --serve    run the workload, then keep an RpcServer on ADDR until
+//              SIGINT/SIGTERM — any wire-protocol client can interrogate it
+//   --connect  fetch a live process's RegistrySnapshot over the wire and
+//              print it; no local store or workload at all
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -19,6 +30,9 @@
 #include "common/string_util.h"
 #include "gdpr/kv_backend.h"
 #include "gdpr/rel_backend.h"
+#include "net/rpc_server.h"
+#include "net/socket_io.h"
+#include "net/wire.h"
 
 namespace gdpr {
 namespace {
@@ -26,6 +40,8 @@ namespace {
 struct Args {
   std::string backend = "kv";
   std::string format = "table";
+  std::string serve;
+  std::string connect;
   size_t nodes = 4;
   size_t records = 500;
   size_t ops = 2000;
@@ -37,6 +53,8 @@ Args Parse(int argc, char** argv) {
     const char* s = argv[i];
     if (strncmp(s, "--backend=", 10) == 0) a.backend = s + 10;
     else if (strncmp(s, "--format=", 9) == 0) a.format = s + 9;
+    else if (strncmp(s, "--serve=", 8) == 0) a.serve = s + 8;
+    else if (strncmp(s, "--connect=", 10) == 0) a.connect = s + 10;
     else if (strncmp(s, "--nodes=", 8) == 0) a.nodes = size_t(atoll(s + 8));
     else if (strncmp(s, "--records=", 10) == 0)
       a.records = size_t(atoll(s + 10));
@@ -45,7 +63,9 @@ Args Parse(int argc, char** argv) {
       printf(
           "usage: statsdump [--backend=kv|rel|cluster] [--nodes=N]\n"
           "                 [--records=N] [--ops=N] [--format=table|prom|"
-          "json]\n");
+          "json]\n"
+          "                 [--serve=ADDR | --connect=ADDR]\n"
+          "ADDR: unix:/path.sock or tcp:host:port\n");
       exit(s == std::string("--help") ? 0 : 2);
     }
   }
@@ -144,8 +164,98 @@ void PrintTable(const obs::RegistrySnapshot& snap) {
   }
 }
 
+void PrintSnapshot(const obs::RegistrySnapshot& snap,
+                   const std::string& format) {
+  if (format == "prom") {
+    fputs(snap.ToPrometheus().c_str(), stdout);
+  } else if (format == "json") {
+    printf("%s\n", snap.ToJson().c_str());
+  } else {
+    PrintTable(snap);
+  }
+}
+
+std::atomic<bool> g_stop{false};
+void OnSignal(int) { g_stop.store(true); }
+
+// Keep a live RpcServer on the given address until signalled, so other
+// processes can interrogate this one over the wire protocol.
+int RunServe(const Args& a) {
+  if (a.backend != "kv") {
+    fprintf(stderr, "--serve wraps one node; it requires --backend=kv\n");
+    return 2;
+  }
+  ComplianceFlags flags;
+  flags.audit_enabled = true;
+  flags.metadata_indexing = true;
+  KvGdprOptions o;
+  o.compliance = flags;
+  KvGdprStore store(o);
+  Status s = store.Open();
+  if (!s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  RunWorkload(&store, a);
+  net::RpcServer server(&store);
+  s = server.Start(a.serve);
+  if (!s.ok()) {
+    fprintf(stderr, "serve failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  signal(SIGINT, OnSignal);
+  signal(SIGTERM, OnSignal);
+  printf("serving on %s (SIGINT/SIGTERM to stop)\n", a.serve.c_str());
+  fflush(stdout);
+  while (!g_stop.load()) usleep(50 * 1000);
+  server.Stop();
+  store.Close().ok();
+  return 0;
+}
+
+// One kStatsSnapshot round trip against a foreign process, straight over
+// the wire — deliberately not via RemoteHandle, whose statsless degrade
+// masks connection errors a human running a CLI wants to see.
+int RunConnect(const Args& a) {
+  std::string err;
+  const int fd = net::Dial(a.connect, /*timeout_ms=*/5000, &err);
+  if (fd < 0) {
+    fprintf(stderr, "dial %s failed: %s\n", a.connect.c_str(), err.c_str());
+    return 1;
+  }
+  net::WireRequest req;
+  req.op = net::WireOp::kStatsSnapshot;
+  req.actor = Actor::Regulator();
+  Status s = net::WriteAll(fd, net::Frame(net::EncodeRequest(req)), 5000);
+  std::string payload;
+  net::FrameBuffer buf;
+  if (s.ok()) s = net::ReadFrame(fd, &buf, &payload, 5000);
+  net::CloseFd(fd);
+  if (!s.ok()) {
+    fprintf(stderr, "rpc to %s failed: %s\n", a.connect.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  net::WireResponse resp;
+  s = net::DecodeResponse(payload, &resp);
+  if (s.ok() && !resp.status.ok()) s = resp.status;
+  if (!s.ok()) {
+    fprintf(stderr, "snapshot from %s failed: %s\n", a.connect.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  PrintSnapshot(resp.snapshot, a.format);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const Args a = Parse(argc, argv);
+  if (!a.serve.empty() && !a.connect.empty()) {
+    fprintf(stderr, "--serve and --connect are mutually exclusive\n");
+    return 2;
+  }
+  if (!a.serve.empty()) return RunServe(a);
+  if (!a.connect.empty()) return RunConnect(a);
   auto store = MakeStore(a);
   Status s = store->Open();
   if (!s.ok()) {
@@ -153,14 +263,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   RunWorkload(store.get(), a);
-  const obs::RegistrySnapshot snap = store->StatsSnapshot();
-  if (a.format == "prom") {
-    fputs(snap.ToPrometheus().c_str(), stdout);
-  } else if (a.format == "json") {
-    printf("%s\n", snap.ToJson().c_str());
-  } else {
-    PrintTable(snap);
-  }
+  PrintSnapshot(store->StatsSnapshot(), a.format);
   store->Close().ok();
   return 0;
 }
